@@ -1,0 +1,83 @@
+//! Armstrong-relation generation benchmarks (Tables 3b/4/5 sizes; Figures
+//! 3/5/7).
+//!
+//! Two measurements:
+//!
+//! * the marginal cost of Armstrong generation in Dep-Miner's combined
+//!   pipeline (maximal sets are already on hand — the paper's "without
+//!   additional execution time" claim);
+//! * the §5.1 extension cost for TANE (transversal round-trip
+//!   `cmax = Tr(lhs)` before any tuple can be built).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_core::DepMiner;
+use depminer_relation::SyntheticConfig;
+use depminer_tane::Tane;
+
+fn armstrong_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("armstrong_generation");
+    group.sample_size(10);
+    for &correlation in &[0.0, 0.3, 0.5] {
+        let r = SyntheticConfig {
+            n_attrs: 15,
+            n_rows: 2_000,
+            correlation,
+            seed: 7,
+        }
+        .generate()
+        .expect("valid config");
+        let mined = DepMiner::algorithm_3().mine(&r);
+        let tane = Tane::new().run(&r);
+        let c_pct = (correlation * 100.0) as u32;
+
+        // Dep-Miner: maximal sets already available.
+        group.bench_with_input(
+            BenchmarkId::new("from_depminer_maxsets", c_pct),
+            &(&mined, &r),
+            |b, (m, r)| b.iter(|| m.real_world_armstrong(r).expect("exists")),
+        );
+        // TANE extension: Tr(lhs) round-trip plus generation.
+        group.bench_with_input(
+            BenchmarkId::new("from_tane_via_transversals", c_pct),
+            &(&tane, &r),
+            |b, (t, r)| b.iter(|| t.real_world_armstrong(r).expect("exists")),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 3/5/7 shape: size scales with c and |R| far more than with |r|.
+/// Benchmarked as end-to-end mine+generate across the size grid.
+fn size_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_5_7_size_grid");
+    group.sample_size(10);
+    for &correlation in &[0.0, 0.5] {
+        for &n_rows in &[500usize, 2_000] {
+            let r = SyntheticConfig {
+                n_attrs: 10,
+                n_rows,
+                correlation,
+                seed: 7,
+            }
+            .generate()
+            .expect("valid config");
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("mine_and_generate_c{}", (correlation * 100.0) as u32),
+                    n_rows,
+                ),
+                &r,
+                |b, r| {
+                    b.iter(|| {
+                        let m = DepMiner::algorithm_3().mine(r);
+                        m.real_world_armstrong(r).expect("exists").len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, armstrong_generation, size_grid);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion version of the execution-time grids (Tables 3a, 4, 5 and the
+//! time figures 2/4/6): Dep-Miner vs Dep-Miner 2 vs TANE across the
+//! synthetic benchmark families.
+//!
+//! The statistically rigorous counterpart of the `experiments` binary; grid
+//! scaled down so `cargo bench` stays minutes, not hours. The comparison
+//! *shape* (who wins where, how the gap scales with |R|, |r| and c) is what
+//! matters, per DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_bench::{Algo, ALGOS};
+use depminer_relation::SyntheticConfig;
+
+fn bench_family(c: &mut Criterion, correlation: f64, label: &str) {
+    let mut group = c.benchmark_group(label);
+    group.sample_size(10);
+    for &n_attrs in &[10usize, 20] {
+        for &n_rows in &[500usize, 2_000] {
+            let r = SyntheticConfig {
+                n_attrs,
+                n_rows,
+                correlation,
+                seed: 0xEDB7,
+            }
+            .generate()
+            .expect("valid config");
+            for algo in ALGOS {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), format!("R{n_attrs}_r{n_rows}")),
+                    &r,
+                    |b, r| b.iter(|| algo.run(r)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    bench_family(c, 0.0, "table3_c0");
+}
+
+fn table4(c: &mut Criterion) {
+    bench_family(c, 0.3, "table4_c30");
+}
+
+fn table5(c: &mut Criterion) {
+    bench_family(c, 0.5, "table5_c50");
+}
+
+/// Figures 2/4/6 slice: time vs |r| at fixed |R| = 10 (fine-grained |r|
+/// series so the growth curve is visible).
+fn fig_time_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_4_6_time_vs_rows");
+    group.sample_size(10);
+    for &correlation in &[0.0, 0.3, 0.5] {
+        for &n_rows in &[250usize, 500, 1_000, 2_000, 4_000] {
+            let r = SyntheticConfig {
+                n_attrs: 10,
+                n_rows,
+                correlation,
+                seed: 0xEDB7,
+            }
+            .generate()
+            .expect("valid config");
+            let algo = Algo::DepMiner2;
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("depminer2_c{}", (correlation * 100.0) as u32),
+                    n_rows,
+                ),
+                &r,
+                |b, r| b.iter(|| algo.run(r)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3, table4, table5, fig_time_series);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Regenerates every table and figure of the paper's §5 evaluation.
+//!
+//! ```text
+//! cargo run --release -p depminer-bench --bin experiments -- [TARGETS] [FLAGS]
+//!
+//! TARGETS   table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 | all (default)
+//! FLAGS     --full            paper-scale grid (|r| up to 100k, 2h budget)
+//!           --budget <secs>   per-cell per-algorithm budget (default 30)
+//!           --seed <n>        RNG seed for the synthetic database
+//!           --quiet           suppress per-cell progress lines
+//! ```
+//!
+//! Tables print both halves (times + Armstrong sizes) exactly like the
+//! paper; figures print the corresponding series as whitespace-separated
+//! columns ready for plotting.
+
+use depminer_bench::{
+    render_size_figure, render_size_table, render_time_figure, render_time_table, run_table,
+    SweepSpec, TableResult,
+};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+struct Options {
+    targets: BTreeSet<String>,
+    full: bool,
+    budget: Option<u64>,
+    seed: Option<u64>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        targets: BTreeSet::new(),
+        full: false,
+        budget: None,
+        seed: None,
+        quiet: false,
+    };
+    let valid = [
+        "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "all",
+    ];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => opts.full = true,
+            "--quiet" => opts.quiet = true,
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a value")?;
+                opts.budget = Some(v.parse().map_err(|_| format!("bad budget: {v}"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "targets: {} | flags: --full --budget <secs> --seed <n> --quiet",
+                    valid.join(" ")
+                );
+                std::process::exit(0);
+            }
+            t if valid.contains(&t) => {
+                opts.targets.insert(t.to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.targets.is_empty() || opts.targets.contains("all") {
+        opts.targets = valid[..valid.len() - 1]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    Ok(opts)
+}
+
+/// Experiment ids grouped by the correlation family that produces them.
+fn family_targets(c: f64) -> (&'static str, [&'static str; 3]) {
+    match c {
+        0.0 => ("table3", ["table3", "fig2", "fig3"]),
+        0.3 => ("table4", ["table4", "fig4", "fig5"]),
+        _ => ("table5", ["table5", "fig6", "fig7"]),
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for &c in &[0.0, 0.3, 0.5] {
+        let (_, ids) = family_targets(c);
+        if !ids.iter().any(|id| opts.targets.contains(*id)) {
+            continue;
+        }
+        let mut spec = if opts.full {
+            SweepSpec::full(c)
+        } else {
+            SweepSpec::quick(c)
+        };
+        if let Some(b) = opts.budget {
+            spec.budget = Duration::from_secs(b);
+        }
+        if let Some(s) = opts.seed {
+            spec.seed = s;
+        }
+        eprintln!(
+            "== sweeping c = {:.0}%: |R| in {:?}, |r| in {:?}, budget {:?} ==",
+            c * 100.0,
+            spec.attrs,
+            spec.rows,
+            spec.budget
+        );
+        let table = run_table(&spec, |line| {
+            if !opts.quiet {
+                eprintln!("   {line}");
+            }
+        });
+        emit(&opts, c, &table);
+    }
+}
+
+fn emit(opts: &Options, c: f64, table: &TableResult) {
+    let (table_id, [tid, fig_time, fig_size]) = family_targets(c);
+    debug_assert_eq!(table_id, tid);
+    let hdr = |name: &str, what: &str| {
+        println!("\n================ {name}: {what} ================");
+    };
+    if opts.targets.contains(tid) {
+        let (paper_a, paper_b) = match tid {
+            "table3" => ("Table 3(a)", "Table 3(b)"),
+            "table4" => ("Table 4 (times)", "Table 4 (sizes)"),
+            _ => ("Table 5 (times)", "Table 5 (sizes)"),
+        };
+        hdr(paper_a, "execution times");
+        print!("{}", render_time_table(table));
+        hdr(paper_b, "Armstrong relation sizes");
+        print!("{}", render_size_table(table));
+    }
+    if opts.targets.contains(fig_time) {
+        hdr(
+            &fig_time.replace("fig", "Figure "),
+            "execution time vs |r| at |R| = 10 and 50",
+        );
+        // The paper plots |R| = 10 and 50; fall back to the sweep's
+        // smallest and largest |R| when running the quick grid.
+        let choices: Vec<usize> = if table.spec.attrs.contains(&50) {
+            vec![10, 50]
+        } else {
+            vec![
+                *table.spec.attrs.first().expect("non-empty sweep"),
+                *table.spec.attrs.last().expect("non-empty sweep"),
+            ]
+        };
+        print!("{}", render_time_figure(table, &choices));
+    }
+    if opts.targets.contains(fig_size) {
+        hdr(
+            &fig_size.replace("fig", "Figure "),
+            "Armstrong size vs |r|, one series per |R|",
+        );
+        print!("{}", render_size_figure(table));
+    }
+}

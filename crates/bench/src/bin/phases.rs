@@ -1,0 +1,78 @@
+//! Per-phase timing breakdown of the Dep-Miner pipeline vs TANE.
+//!
+//! Shows *where* the two Dep-Miner variants spend their time (agree sets
+//! dominate; the lhs/transversal step grows with `|R|`), complementing the
+//! end-to-end numbers of the `experiments` binary.
+//!
+//! ```text
+//! cargo run --release -p depminer-bench --bin phases -- [--attrs a,b,..] [--rows n,..] [--correlation c]
+//! ```
+
+use depminer_core::DepMiner;
+use depminer_relation::SyntheticConfig;
+use depminer_tane::Tane;
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
+}
+
+fn main() {
+    let mut attrs = vec![20usize, 40];
+    let mut rows = vec![5_000usize, 20_000];
+    let mut correlation = 0.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--attrs" => attrs = parse_list(&args.next().unwrap_or_default()),
+            "--rows" => rows = parse_list(&args.next().unwrap_or_default()),
+            "--correlation" => {
+                correlation = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.5)
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "{:<6} {:<8} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "|R|", "|r|", "variant", "preproc", "agree", "cmax", "lhs", "total"
+    );
+    for &n_attrs in &attrs {
+        for &n_rows in &rows {
+            let r = SyntheticConfig {
+                n_attrs,
+                n_rows,
+                correlation,
+                seed: 9,
+            }
+            .generate()
+            .expect("valid parameters");
+            for (name, miner) in [
+                ("dep-miner", DepMiner::algorithm_2(None)),
+                ("dep-miner2", DepMiner::algorithm_3()),
+            ] {
+                let m = miner.mine(&r);
+                let t = m.timings;
+                let ms = |d: std::time::Duration| format!("{:.1}ms", d.as_secs_f64() * 1e3);
+                println!(
+                    "{n_attrs:<6} {n_rows:<8} {name:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    ms(t.preprocess),
+                    ms(t.agree_sets),
+                    ms(t.cmax_sets),
+                    ms(t.left_hand_sides),
+                    ms(t.total()),
+                );
+            }
+            let t0 = std::time::Instant::now();
+            let tn = Tane::new().run(&r);
+            println!(
+                "{n_attrs:<6} {n_rows:<8} {:<12} {:>10} {:>10} {:>10} {:>10} {:>9.1}ms  (levels {}, candidates {})",
+                "tane", "-", "-", "-", "-",
+                t0.elapsed().as_secs_f64() * 1e3,
+                tn.stats.levels,
+                tn.stats.candidates,
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Agree-set computation (§3.1): the three strategies of the paper.
+//!
+//! * [`agree_sets_naive`] — the O(n·p²) baseline over all tuple couples;
+//! * [`agree_sets_couples`] — **Algorithm 2**: couples are drawn only from
+//!   maximal equivalence classes (Lemma 1) and agree sets are accumulated by
+//!   scanning the stripped partitions; includes the memory-bounded chunking
+//!   the paper describes ("computing agree sets as soon as a fixed number of
+//!   couples was generated");
+//! * [`agree_sets_ec`] — **Algorithm 3**: each tuple carries the identifier
+//!   set `ec(t)` of stripped classes containing it; the agree set of a
+//!   couple is the attribute projection of `ec(t) ∩ ec(t')` (Lemma 2).
+//!
+//! All strategies return [`AgreeSets`]: the *non-empty* agree sets of `r`,
+//! deduplicated and sorted, together with the context (arity, tuple count,
+//! constant attributes) the downstream `CMAX_SET` step needs. The empty
+//! agree set — present in `ag(r)` whenever two tuples disagree everywhere —
+//! carries no information for maximal sets beyond what the constant-attribute
+//! corner handles explicitly (see [`crate::maxset`]), and Algorithms 2/3
+//! never materialize it, so it is uniformly excluded here.
+
+use depminer_relation::{AttrSet, FxHashMap, FxHashSet, Relation, StrippedPartitionDb};
+
+/// Which agree-set algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgreeSetStrategy {
+    /// All-pairs baseline, O(n·p²).
+    Naive,
+    /// Algorithm 2 (couples from maximal classes). `chunk_size` bounds the
+    /// number of couples held in memory at once; `None` means unbounded
+    /// (single pass).
+    Couples {
+        /// Flush threshold for the couple buffer.
+        chunk_size: Option<usize>,
+    },
+    /// Algorithm 3 (identifier-set intersection).
+    EquivalenceClasses,
+}
+
+impl AgreeSetStrategy {
+    /// Short, stable name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AgreeSetStrategy::Naive => "naive",
+            AgreeSetStrategy::Couples { .. } => "alg2-couples",
+            AgreeSetStrategy::EquivalenceClasses => "alg3-ec",
+        }
+    }
+}
+
+/// The result of agree-set computation: `ag(r) \ {∅}`, plus the relation
+/// facts needed downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreeSets {
+    /// Non-empty agree sets, sorted and deduplicated.
+    pub sets: Vec<AttrSet>,
+    /// Number of attributes `|R|`.
+    pub arity: usize,
+    /// Number of tuples `|r|`.
+    pub n_rows: usize,
+    /// Attributes constant across `r` (`∅ → A` holds).
+    pub constant_attrs: AttrSet,
+}
+
+impl AgreeSets {
+    fn from_raw(
+        mut sets: Vec<AttrSet>,
+        arity: usize,
+        n_rows: usize,
+        constant_attrs: AttrSet,
+    ) -> Self {
+        sets.retain(|s| !s.is_empty());
+        sets.sort_unstable();
+        sets.dedup();
+        AgreeSets {
+            sets,
+            arity,
+            n_rows,
+            constant_attrs,
+        }
+    }
+}
+
+/// Computes agree sets by running `strategy` against the stripped partition
+/// database.
+pub fn agree_sets(db: &StrippedPartitionDb, strategy: AgreeSetStrategy) -> AgreeSets {
+    match strategy {
+        AgreeSetStrategy::Naive => {
+            // Reconstruct pairwise agreement from the partition db itself so
+            // all strategies share one input (the db is informationally
+            // equivalent to r, §3.1).
+            naive_from_db(db)
+        }
+        AgreeSetStrategy::Couples { chunk_size } => agree_sets_couples(db, chunk_size),
+        AgreeSetStrategy::EquivalenceClasses => agree_sets_ec(db),
+    }
+}
+
+/// The naive all-pairs algorithm, run directly on a relation.
+pub fn agree_sets_naive(r: &Relation) -> AgreeSets {
+    let db_constants = {
+        // cheap constant detection without building the full db
+        let mut s = AttrSet::empty();
+        if r.len() < 2 {
+            s = AttrSet::full(r.arity());
+        } else {
+            for a in 0..r.arity() {
+                if r.column(a).distinct_count() == 1 {
+                    s.insert(a);
+                }
+            }
+        }
+        s
+    };
+    let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
+    for i in 0..r.len() {
+        for j in (i + 1)..r.len() {
+            seen.insert(r.agree_set(i, j));
+        }
+    }
+    AgreeSets::from_raw(seen.into_iter().collect(), r.arity(), r.len(), db_constants)
+}
+
+/// All-pairs agreement computed from the stripped partition database: every
+/// tuple's attribute-agreement is reconstructed via `ec` sets. Used as the
+/// `Naive` strategy when only a db is available.
+fn naive_from_db(db: &StrippedPartitionDb) -> AgreeSets {
+    let ec = db.equivalence_class_ids();
+    let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
+    for i in 0..db.n_rows() {
+        for j in (i + 1)..db.n_rows() {
+            seen.insert(intersect_ec(&ec[i], &ec[j]));
+        }
+    }
+    AgreeSets::from_raw(
+        seen.into_iter().collect(),
+        db.arity(),
+        db.n_rows(),
+        db.constant_attrs(),
+    )
+}
+
+/// **Algorithm 2.** Couples are generated per maximal equivalence class;
+/// when `chunk_size` couples have accumulated, the stripped partitions are
+/// scanned once to fill in their agree sets and the buffer is flushed.
+pub fn agree_sets_couples(db: &StrippedPartitionDb, chunk_size: Option<usize>) -> AgreeSets {
+    let mc = db.maximal_classes();
+    let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
+    let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
+    // couples: (t, t') with t < t', mapped to the agree set under
+    // construction (lines 4–9 of Algorithm 2).
+    let mut couples: FxHashMap<(u32, u32), AttrSet> = FxHashMap::default();
+    for class in &mc {
+        for (k, &t) in class.iter().enumerate() {
+            for &u in &class[k + 1..] {
+                let key = if t < u { (t, u) } else { (u, t) };
+                couples.entry(key).or_insert(AttrSet::empty());
+                if couples.len() >= threshold {
+                    flush_couples(db, &mut couples, &mut ag);
+                }
+            }
+        }
+    }
+    flush_couples(db, &mut couples, &mut ag);
+    AgreeSets::from_raw(
+        ag.into_iter().collect(),
+        db.arity(),
+        db.n_rows(),
+        db.constant_attrs(),
+    )
+}
+
+/// Lines 10–21 of Algorithm 2: scan every stripped class; each couple found
+/// inside a class of `π̂_A` gains attribute `A`; finally the buffered agree
+/// sets join `ag(r)` and the buffer empties.
+fn flush_couples(
+    db: &StrippedPartitionDb,
+    couples: &mut FxHashMap<(u32, u32), AttrSet>,
+    ag: &mut FxHashSet<AttrSet>,
+) {
+    if couples.is_empty() {
+        return;
+    }
+    for (a, partition) in db.partitions().iter().enumerate() {
+        for class in partition.classes() {
+            for (k, &t) in class.iter().enumerate() {
+                for &u in &class[k + 1..] {
+                    let key = if t < u { (t, u) } else { (u, t) };
+                    if let Some(s) = couples.get_mut(&key) {
+                        s.insert(a);
+                    }
+                }
+            }
+        }
+    }
+    ag.extend(couples.drain().map(|(_, s)| s));
+}
+
+/// Ablation variant of Algorithm 2 *without* the maximal-class reduction:
+/// couples are drawn from **every** stripped class instead of only `MC`.
+///
+/// Produces the same agree sets (every stripped class is contained in a
+/// maximal one) at the cost of generating duplicate couples — the quantity
+/// the `Max⊆` filter of Lemma 1 exists to avoid. Benchmarked by
+/// `ablation_mc`.
+pub fn agree_sets_couples_no_mc(db: &StrippedPartitionDb, chunk_size: Option<usize>) -> AgreeSets {
+    let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
+    let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
+    let mut couples: FxHashMap<(u32, u32), AttrSet> = FxHashMap::default();
+    for partition in db.partitions() {
+        for class in partition.classes() {
+            for (k, &t) in class.iter().enumerate() {
+                for &u in &class[k + 1..] {
+                    let key = if t < u { (t, u) } else { (u, t) };
+                    couples.entry(key).or_insert(AttrSet::empty());
+                    if couples.len() >= threshold {
+                        flush_couples(db, &mut couples, &mut ag);
+                    }
+                }
+            }
+        }
+    }
+    flush_couples(db, &mut couples, &mut ag);
+    AgreeSets::from_raw(
+        ag.into_iter().collect(),
+        db.arity(),
+        db.n_rows(),
+        db.constant_attrs(),
+    )
+}
+
+/// **Algorithm 3.** Builds `ec(t)` for every tuple (lines 2–8), then for
+/// each couple within a maximal class intersects the two identifier lists
+/// (lines 9–14). The lists are sorted, so intersection is a linear merge.
+pub fn agree_sets_ec(db: &StrippedPartitionDb) -> AgreeSets {
+    let ec = db.equivalence_class_ids();
+    let mc = db.maximal_classes();
+    let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
+    let mut done: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for class in &mc {
+        for (k, &t) in class.iter().enumerate() {
+            for &u in &class[k + 1..] {
+                let key = if t < u { (t, u) } else { (u, t) };
+                if done.insert(key) {
+                    ag.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
+                }
+            }
+        }
+    }
+    AgreeSets::from_raw(
+        ag.into_iter().collect(),
+        db.arity(),
+        db.n_rows(),
+        db.constant_attrs(),
+    )
+}
+
+/// Linear merge of two sorted `(attr, class)` identifier lists, projecting
+/// the matches onto their attributes (Lemma 2).
+fn intersect_ec(a: &[(u16, u32)], b: &[(u16, u32)]) -> AttrSet {
+    let mut out = AttrSet::empty();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.insert(a[i].0 as usize);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depminer_relation::datasets;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    fn employee_expected() -> Vec<AttrSet> {
+        // Example 5/8: nonempty agree sets {A, BDE, CE, E}.
+        let mut v = vec![s(&[0]), s(&[1, 3, 4]), s(&[2, 4]), s(&[4])];
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn naive_matches_paper_example() {
+        let r = datasets::employee();
+        let ag = agree_sets_naive(&r);
+        assert_eq!(ag.sets, employee_expected());
+        assert_eq!(ag.arity, 5);
+        assert_eq!(ag.n_rows, 7);
+        assert_eq!(ag.constant_attrs, AttrSet::empty());
+    }
+
+    #[test]
+    fn algorithm2_matches_paper_example() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ag = agree_sets_couples(&db, None);
+        assert_eq!(ag.sets, employee_expected());
+    }
+
+    #[test]
+    fn algorithm2_chunked_matches_unchunked() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let full = agree_sets_couples(&db, None);
+        for chunk in [1, 2, 3, 5, 100] {
+            assert_eq!(
+                agree_sets_couples(&db, Some(chunk)).sets,
+                full.sets,
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm3_matches_paper_example() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ag = agree_sets_ec(&db);
+        assert_eq!(ag.sets, employee_expected());
+    }
+
+    #[test]
+    fn all_strategies_agree_on_datasets() {
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::constant_columns(),
+            datasets::no_fds(),
+        ] {
+            let db = StrippedPartitionDb::from_relation(&r);
+            let naive = agree_sets_naive(&r);
+            for strat in [
+                AgreeSetStrategy::Naive,
+                AgreeSetStrategy::Couples { chunk_size: None },
+                AgreeSetStrategy::Couples {
+                    chunk_size: Some(2),
+                },
+                AgreeSetStrategy::EquivalenceClasses,
+            ] {
+                let ag = agree_sets(&db, strat);
+                assert_eq!(ag.sets, naive.sets, "strategy {:?} diverges", strat);
+                assert_eq!(ag.constant_attrs, naive.constant_attrs);
+            }
+        }
+    }
+
+    #[test]
+    fn no_mc_variant_matches_algorithm2() {
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::no_fds(),
+        ] {
+            let db = StrippedPartitionDb::from_relation(&r);
+            assert_eq!(
+                agree_sets_couples_no_mc(&db, None).sets,
+                agree_sets_couples(&db, None).sets
+            );
+            assert_eq!(
+                agree_sets_couples_no_mc(&db, Some(2)).sets,
+                agree_sets_couples(&db, None).sets
+            );
+        }
+    }
+
+    #[test]
+    fn intersect_ec_merge() {
+        let a = vec![(0u16, 0u32), (1, 1), (3, 1), (4, 1)];
+        let b = vec![(0u16, 0u32), (1, 0), (3, 1), (4, 2)];
+        assert_eq!(intersect_ec(&a, &b), s(&[0, 3]));
+        assert_eq!(intersect_ec(&a, &[]), AttrSet::empty());
+    }
+
+    #[test]
+    fn single_tuple_relation_has_no_agree_sets() {
+        let r = depminer_relation::Relation::from_columns(
+            depminer_relation::Schema::synthetic(3).unwrap(),
+            vec![vec![1], vec![2], vec![3]],
+        )
+        .unwrap();
+        let db = StrippedPartitionDb::from_relation(&r);
+        for strat in [
+            AgreeSetStrategy::Naive,
+            AgreeSetStrategy::Couples { chunk_size: None },
+            AgreeSetStrategy::EquivalenceClasses,
+        ] {
+            let ag = agree_sets(&db, strat);
+            assert!(ag.sets.is_empty());
+            assert_eq!(ag.constant_attrs, AttrSet::full(3));
+        }
+    }
+
+    #[test]
+    fn fully_distinct_relation_yields_empty_ag() {
+        // Every column is a key: no couples at all.
+        let r = depminer_relation::Relation::from_columns(
+            depminer_relation::Schema::synthetic(2).unwrap(),
+            vec![vec![0, 1, 2], vec![0, 1, 2]],
+        )
+        .unwrap();
+        // wait: columns equal ⇒ tuples (0,0),(1,1),(2,2) pairwise disagree
+        // on both attributes.
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ag = agree_sets(&db, AgreeSetStrategy::EquivalenceClasses);
+        assert!(ag.sets.is_empty());
+        assert_eq!(ag.constant_attrs, AttrSet::empty());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(AgreeSetStrategy::Naive.name(), "naive");
+        assert_eq!(
+            AgreeSetStrategy::Couples {
+                chunk_size: Some(4)
+            }
+            .name(),
+            "alg2-couples"
+        );
+        assert_eq!(AgreeSetStrategy::EquivalenceClasses.name(), "alg3-ec");
+    }
+}

@@ -1,0 +1,158 @@
+//! Left-hand sides of minimal FDs (§3.3, Algorithms 5 and 6).
+//!
+//! `lhs(dep(r), A) = Tr(cmax(dep(r), A))`: the minimal transversals of the
+//! simple hypergraph of maximal-set complements. The transversal engine
+//! lives in `depminer-hypergraph`; this module wires it to the miner and
+//! emits the final minimal non-trivial FDs (`FD_OUTPUT`).
+
+use crate::maxset::MaxSets;
+use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_hypergraph::Hypergraph;
+use depminer_relation::AttrSet;
+
+/// Which minimal-transversal engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransversalEngine {
+    /// The paper's levelwise Algorithm 5 (Apriori-gen).
+    #[default]
+    Levelwise,
+    /// Berge's incremental algorithm (cross-check / ablation).
+    Berge,
+    /// FastFDs-style ordered depth-first search (Wyss et al. 2001), the
+    /// successor approach built on the same maximal-set framework.
+    Dfs,
+}
+
+impl TransversalEngine {
+    /// Short, stable name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransversalEngine::Levelwise => "levelwise",
+            TransversalEngine::Berge => "berge",
+            TransversalEngine::Dfs => "dfs",
+        }
+    }
+
+    fn run(&self, h: &Hypergraph) -> Vec<AttrSet> {
+        match self {
+            TransversalEngine::Levelwise => h.min_transversals_levelwise(),
+            TransversalEngine::Berge => h.min_transversals_berge(),
+            TransversalEngine::Dfs => h.min_transversals_dfs(),
+        }
+    }
+}
+
+/// `LEFT_HAND_SIDE`: computes `lhs(dep(r), A)` for every attribute.
+///
+/// When `cmax(dep(r), A)` is empty (constant attribute), the unique minimal
+/// transversal is `∅` and the minimal FD is `∅ → A`.
+pub fn left_hand_sides(ms: &MaxSets, engine: TransversalEngine) -> Vec<Vec<AttrSet>> {
+    (0..ms.arity)
+        .map(|a| {
+            let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
+            engine.run(&h)
+        })
+        .collect()
+}
+
+/// `FD_OUTPUT`: turns per-attribute lhs families into minimal non-trivial
+/// FDs, skipping the trivial lhs `{A}` (Algorithm 6's `X ≠ {A}` guard).
+pub fn fd_output(lhs: &[Vec<AttrSet>]) -> Vec<Fd> {
+    let mut fds = Vec::new();
+    for (a, sides) in lhs.iter().enumerate() {
+        for &x in sides {
+            if x != AttrSet::singleton(a) {
+                debug_assert!(!x.contains(a), "non-trivial lhs must not contain rhs");
+                fds.push(Fd::new(x, a));
+            }
+        }
+    }
+    normalize_fds(&mut fds);
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agree::agree_sets_naive;
+    use crate::maxset::cmax_sets;
+    use depminer_relation::datasets;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    fn employee_lhs(engine: TransversalEngine) -> Vec<Vec<AttrSet>> {
+        let r = datasets::employee();
+        let ms = cmax_sets(&agree_sets_naive(&r));
+        left_hand_sides(&ms, engine)
+    }
+
+    #[test]
+    fn paper_example_10() {
+        // lhs(A)={A,BC,CD}, lhs(B)={AC,AE,B,D}, lhs(C)={AB,AD,AE,C},
+        // lhs(D)={AC,AE,B,D}, lhs(E)={B,C,D,E}.
+        let lhs = employee_lhs(TransversalEngine::Levelwise);
+        let sort = |mut v: Vec<AttrSet>| {
+            v.sort();
+            v
+        };
+        assert_eq!(lhs[0], sort(vec![s(&[0]), s(&[1, 2]), s(&[2, 3])]));
+        assert_eq!(lhs[1], sort(vec![s(&[0, 2]), s(&[0, 4]), s(&[1]), s(&[3])]));
+        assert_eq!(
+            lhs[2],
+            sort(vec![s(&[0, 1]), s(&[0, 3]), s(&[0, 4]), s(&[2])])
+        );
+        assert_eq!(lhs[3], sort(vec![s(&[0, 2]), s(&[0, 4]), s(&[1]), s(&[3])]));
+        assert_eq!(lhs[4], sort(vec![s(&[1]), s(&[2]), s(&[3]), s(&[4])]));
+    }
+
+    #[test]
+    fn engines_agree() {
+        assert_eq!(
+            employee_lhs(TransversalEngine::Levelwise),
+            employee_lhs(TransversalEngine::Berge)
+        );
+        assert_eq!(
+            employee_lhs(TransversalEngine::Levelwise),
+            employee_lhs(TransversalEngine::Dfs)
+        );
+    }
+
+    #[test]
+    fn fd_output_matches_example_11() {
+        let lhs = employee_lhs(TransversalEngine::Levelwise);
+        let fds = fd_output(&lhs);
+        let expected = depminer_fdtheory::mine_minimal_fds(&datasets::employee());
+        assert_eq!(fds, expected);
+        assert_eq!(fds.len(), 14);
+    }
+
+    #[test]
+    fn constant_attribute_yields_empty_lhs_fd() {
+        let r = datasets::constant_columns();
+        let ms = cmax_sets(&agree_sets_naive(&r));
+        let lhs = left_hand_sides(&ms, TransversalEngine::Levelwise);
+        assert_eq!(lhs[1], vec![AttrSet::empty()]);
+        let fds = fd_output(&lhs);
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 1)));
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 2)));
+    }
+
+    #[test]
+    fn trivial_lhs_is_skipped() {
+        // In the employee example lhs(E) contains {E}; FD_OUTPUT drops it.
+        let lhs = employee_lhs(TransversalEngine::Levelwise);
+        let fds = fd_output(&lhs);
+        assert!(fds.iter().all(|f| !f.is_trivial()));
+        assert!(!fds.iter().any(|f| f.lhs == s(&[4]) && f.rhs == 4));
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(TransversalEngine::Levelwise.name(), "levelwise");
+        assert_eq!(TransversalEngine::Berge.name(), "berge");
+        assert_eq!(TransversalEngine::Dfs.name(), "dfs");
+        assert_eq!(TransversalEngine::default(), TransversalEngine::Levelwise);
+    }
+}

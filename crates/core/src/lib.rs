@@ -1,0 +1,285 @@
+//! # depminer-core
+//!
+//! The **Dep-Miner** algorithm of Lopes, Petit & Lakhal (EDBT 2000):
+//! combined discovery of minimal non-trivial functional dependencies and
+//! real-world Armstrong relations, from a stripped partition database.
+//!
+//! The pipeline (Algorithm 1 of the paper):
+//!
+//! ```text
+//! relation ──► stripped partition db ──► agree sets ──► maximal sets ─┬─► Armstrong relation
+//!                                                                     └─► cmax ─► lhs ─► minimal FDs
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use depminer_core::DepMiner;
+//! use depminer_relation::datasets;
+//!
+//! let r = datasets::employee();
+//! let result = DepMiner::new().mine(&r);
+//!
+//! // 14 minimal non-trivial FDs hold in the paper's running example.
+//! assert_eq!(result.fds.len(), 14);
+//!
+//! // A real-world Armstrong relation with |MAX(dep(r))| + 1 = 4 tuples.
+//! let armstrong = result.real_world_armstrong(&r).unwrap();
+//! assert_eq!(armstrong.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agree;
+pub mod armstrong;
+pub mod keys;
+pub mod lhs;
+pub mod maxset;
+pub mod stats;
+
+pub use agree::{
+    agree_sets, agree_sets_couples, agree_sets_couples_no_mc, agree_sets_ec, agree_sets_naive,
+    AgreeSetStrategy, AgreeSets,
+};
+pub use armstrong::{real_world_armstrong, real_world_exists, synthetic_armstrong};
+pub use keys::candidate_keys_from_agree_sets;
+pub use lhs::{fd_output, left_hand_sides, TransversalEngine};
+pub use maxset::{cmax_sets, MaxSets};
+pub use stats::PhaseTimings;
+
+use depminer_fdtheory::Fd;
+use depminer_relation::{AttrSet, Relation, RelationError, Schema, StrippedPartitionDb};
+use std::time::Instant;
+
+/// Configurable Dep-Miner pipeline.
+///
+/// The default configuration matches the paper's "Dep-Miner" line
+/// (Algorithm 2 with an unbounded couple buffer, levelwise transversals);
+/// [`DepMiner::algorithm_2`] / [`DepMiner::algorithm_3`] pick the two
+/// benchmark variants explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepMiner {
+    /// Agree-set strategy (§3.1).
+    pub strategy: AgreeSetStrategy,
+    /// Transversal engine (§3.3).
+    pub engine: TransversalEngine,
+}
+
+impl Default for DepMiner {
+    fn default() -> Self {
+        DepMiner::new()
+    }
+}
+
+impl DepMiner {
+    /// The paper's primary configuration: Algorithm 2, levelwise lhs.
+    pub fn new() -> Self {
+        DepMiner {
+            strategy: AgreeSetStrategy::Couples { chunk_size: None },
+            engine: TransversalEngine::Levelwise,
+        }
+    }
+
+    /// "Dep-Miner" of the evaluation: Algorithm 2 with a couple-buffer
+    /// bound (`chunk_size` couples per pass; `None` = unbounded).
+    pub fn algorithm_2(chunk_size: Option<usize>) -> Self {
+        DepMiner {
+            strategy: AgreeSetStrategy::Couples { chunk_size },
+            engine: TransversalEngine::Levelwise,
+        }
+    }
+
+    /// "Dep-Miner 2" of the evaluation: Algorithm 3 (identifier sets).
+    pub fn algorithm_3() -> Self {
+        DepMiner {
+            strategy: AgreeSetStrategy::EquivalenceClasses,
+            engine: TransversalEngine::Levelwise,
+        }
+    }
+
+    /// Selects the transversal engine.
+    pub fn with_engine(mut self, engine: TransversalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Runs the full pipeline on a relation (extracting the stripped
+    /// partition database first).
+    pub fn mine(&self, r: &Relation) -> MiningResult {
+        let t0 = Instant::now();
+        let db = StrippedPartitionDb::from_relation(r);
+        let preprocess = t0.elapsed();
+        let mut result = self.mine_db(&db);
+        result.timings.preprocess = preprocess;
+        result
+    }
+
+    /// Runs the pipeline on a pre-computed stripped partition database —
+    /// the paper's actual input ("Dep-Miner takes in input a small
+    /// representation of a relation").
+    pub fn mine_db(&self, db: &StrippedPartitionDb) -> MiningResult {
+        let t1 = Instant::now();
+        let ag = agree_sets(db, self.strategy);
+        let t_agree = t1.elapsed();
+
+        let t2 = Instant::now();
+        let max_sets = cmax_sets(&ag);
+        let t_cmax = t2.elapsed();
+
+        let t3 = Instant::now();
+        let lhs = left_hand_sides(&max_sets, self.engine);
+        let fds = fd_output(&lhs);
+        let t_lhs = t3.elapsed();
+
+        MiningResult {
+            schema: db.schema().clone(),
+            n_rows: db.n_rows(),
+            agree_sets: ag,
+            max_sets,
+            lhs,
+            fds,
+            timings: PhaseTimings {
+                preprocess: std::time::Duration::ZERO,
+                agree_sets: t_agree,
+                cmax_sets: t_cmax,
+                left_hand_sides: t_lhs,
+            },
+        }
+    }
+}
+
+/// Everything Dep-Miner discovers about a relation.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The schema the result refers to.
+    pub schema: Schema,
+    /// Number of tuples mined.
+    pub n_rows: usize,
+    /// `ag(r)` (non-empty agree sets) plus context.
+    pub agree_sets: AgreeSets,
+    /// `max(dep(r), A)` and `cmax(dep(r), A)` per attribute.
+    pub max_sets: MaxSets,
+    /// `lhs(dep(r), A)` per attribute (including trivial `{A}` entries).
+    pub lhs: Vec<Vec<AttrSet>>,
+    /// The minimal non-trivial FDs (a cover of `dep(r)`).
+    pub fds: Vec<Fd>,
+    /// Per-phase wall-clock times.
+    pub timings: PhaseTimings,
+}
+
+impl MiningResult {
+    /// `MAX(dep(r))`: union of per-attribute maximal sets.
+    pub fn max_union(&self) -> Vec<AttrSet> {
+        self.max_sets.max_union()
+    }
+
+    /// Size of any Armstrong relation this result generates:
+    /// `|MAX(dep(r))| + 1`.
+    pub fn armstrong_size(&self) -> usize {
+        self.max_union().len() + 1
+    }
+
+    /// The classic integer-valued Armstrong relation (Example 12).
+    pub fn synthetic_armstrong(&self) -> Relation {
+        synthetic_armstrong(&self.schema, &self.max_union())
+    }
+
+    /// The real-world Armstrong relation (Definition 1), with values drawn
+    /// from `r`. `r` must be the relation this result was mined from.
+    ///
+    /// # Errors
+    ///
+    /// Fails when Proposition 1's existence condition does not hold.
+    pub fn real_world_armstrong(&self, r: &Relation) -> Result<Relation, RelationError> {
+        real_world_armstrong(r, &self.max_union())
+    }
+
+    /// The candidate keys (minimal unique column combinations) of the
+    /// mined relation, derived from the agree sets via transversals.
+    pub fn candidate_keys(&self) -> Vec<AttrSet> {
+        keys::candidate_keys_from_agree_sets(&self.agree_sets, TransversalEngine::Levelwise)
+    }
+
+    /// Pretty-prints the discovered FDs with schema names, one per line.
+    pub fn fds_display(&self) -> String {
+        self.fds
+            .iter()
+            .map(|f| f.display_with(&self.schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depminer_fdtheory::{equivalent, mine_minimal_fds};
+    use depminer_relation::datasets;
+
+    #[test]
+    fn default_pipeline_matches_oracle() {
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::constant_columns(),
+            datasets::no_fds(),
+        ] {
+            let result = DepMiner::new().mine(&r);
+            let oracle = mine_minimal_fds(&r);
+            assert_eq!(result.fds, oracle, "exact minimal cover expected");
+        }
+    }
+
+    #[test]
+    fn variants_agree() {
+        let r = datasets::enrollment();
+        let base = DepMiner::new().mine(&r).fds;
+        for miner in [
+            DepMiner::algorithm_2(Some(3)),
+            DepMiner::algorithm_3(),
+            DepMiner::new().with_engine(TransversalEngine::Berge),
+            DepMiner {
+                strategy: AgreeSetStrategy::Naive,
+                engine: TransversalEngine::Berge,
+            },
+        ] {
+            let fds = miner.mine(&r).fds;
+            assert_eq!(fds, base, "{miner:?} diverges");
+            assert!(equivalent(&fds, &base));
+        }
+    }
+
+    #[test]
+    fn result_metadata() {
+        let r = datasets::employee();
+        let result = DepMiner::new().mine(&r);
+        assert_eq!(result.n_rows, 7);
+        assert_eq!(result.armstrong_size(), 4);
+        assert_eq!(result.max_union().len(), 3);
+        assert!(result.fds_display().contains("depnum -> depname"));
+        // timings were recorded
+        assert!(result.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn mine_db_equals_mine() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let a = DepMiner::new().mine(&r);
+        let b = DepMiner::new().mine_db(&db);
+        assert_eq!(a.fds, b.fds);
+        assert_eq!(a.max_sets, b.max_sets);
+    }
+
+    #[test]
+    fn armstrong_relations_from_result() {
+        let r = datasets::employee();
+        let result = DepMiner::new().mine(&r);
+        let syn = result.synthetic_armstrong();
+        let real = result.real_world_armstrong(&r).unwrap();
+        assert_eq!(syn.len(), 4);
+        assert_eq!(real.len(), 4);
+        assert!(depminer_fdtheory::is_armstrong_for(&syn, &result.fds));
+        assert!(depminer_fdtheory::is_armstrong_for(&real, &result.fds));
+    }
+}

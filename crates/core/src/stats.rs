@@ -1,0 +1,65 @@
+//! Per-phase timing of the Dep-Miner pipeline.
+//!
+//! The paper's evaluation (§5) reports end-to-end times; the benchmark
+//! harness additionally breaks them down per phase to show *where* the two
+//! agree-set algorithms differ.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock time spent in each step of Algorithm 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Stripped-partition-database extraction (pre-processing).
+    pub preprocess: Duration,
+    /// `AGREE_SET` (Algorithm 2 or 3, or the naive baseline).
+    pub agree_sets: Duration,
+    /// `CMAX_SET` (Algorithm 4).
+    pub cmax_sets: Duration,
+    /// `LEFT_HAND_SIDE` + `FD_OUTPUT` (Algorithms 5 and 6).
+    pub left_hand_sides: Duration,
+}
+
+impl PhaseTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.agree_sets + self.cmax_sets + self.left_hand_sides
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "preprocess {:?}, agree {:?}, cmax {:?}, lhs {:?} (total {:?})",
+            self.preprocess,
+            self.agree_sets,
+            self.cmax_sets,
+            self.left_hand_sides,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let t = PhaseTimings {
+            preprocess: Duration::from_millis(1),
+            agree_sets: Duration::from_millis(2),
+            cmax_sets: Duration::from_millis(3),
+            left_hand_sides: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+        let shown = t.to_string();
+        assert!(shown.contains("total"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(PhaseTimings::default().total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,168 @@
+//! Attribute closures `X⁺_F` and implication (§2).
+
+use crate::fd::Fd;
+use depminer_relation::AttrSet;
+
+/// Computes the closure `X⁺_F = {A | F ⊨ X → A}`.
+///
+/// Uses the linear-time algorithm of Beeri & Bernstein: each FD keeps a
+/// counter of unsatisfied lhs attributes; when it hits zero the rhs fires.
+/// Runs in O(Σ|lhs| + |F|) after an O(|F|) index build.
+pub fn closure(x: AttrSet, fds: &[Fd]) -> AttrSet {
+    // Index: for each attribute, the FDs whose lhs contains it.
+    let mut max_attr = 0usize;
+    for f in fds {
+        max_attr = max_attr.max(f.rhs);
+        if let Some(m) = f.lhs.max_attr() {
+            max_attr = max_attr.max(m);
+        }
+    }
+    let mut uses: Vec<Vec<u32>> = vec![Vec::new(); max_attr + 1];
+    let mut missing: Vec<u32> = Vec::with_capacity(fds.len());
+    for (i, f) in fds.iter().enumerate() {
+        missing.push(f.lhs.difference(x).len() as u32);
+        for a in f.lhs.difference(x) {
+            uses[a].push(i as u32);
+        }
+    }
+    let mut result = x;
+    // Worklist of newly-derived attributes; FDs with empty (remaining) lhs
+    // fire immediately.
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, f) in fds.iter().enumerate() {
+        if missing[i] == 0 && !result.contains(f.rhs) {
+            result.insert(f.rhs);
+            queue.push(f.rhs);
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &fi in &uses[a] {
+            let fi = fi as usize;
+            missing[fi] -= 1;
+            if missing[fi] == 0 {
+                let b = fds[fi].rhs;
+                if !result.contains(b) {
+                    result.insert(b);
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Reference fixpoint implementation of the closure; quadratic but obviously
+/// correct. Used to property-test [`closure`].
+pub fn closure_naive(x: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut result = x;
+    loop {
+        let before = result;
+        for f in fds {
+            if f.lhs.is_subset_of(result) {
+                result.insert(f.rhs);
+            }
+        }
+        if result == before {
+            return result;
+        }
+    }
+}
+
+/// `true` iff `F ⊨ X → A` (membership problem): `A ∈ X⁺_F`.
+pub fn implies(fds: &[Fd], fd: Fd) -> bool {
+    fd.is_trivial() || closure(fd.lhs, fds).contains(fd.rhs)
+}
+
+/// `true` iff `X` is closed w.r.t. `F`: `X⁺ = X`.
+pub fn is_closed(x: AttrSet, fds: &[Fd]) -> bool {
+    closure(x, fds) == x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(s(lhs), rhs)
+    }
+
+    #[test]
+    fn textbook_closure() {
+        // F = {A→B, B→C, CD→E}
+        let f = vec![fd(&[0], 1), fd(&[1], 2), fd(&[2, 3], 4)];
+        assert_eq!(closure(s(&[0]), &f), s(&[0, 1, 2]));
+        assert_eq!(closure(s(&[0, 3]), &f), s(&[0, 1, 2, 3, 4]));
+        assert_eq!(closure(s(&[4]), &f), s(&[4]));
+        assert_eq!(closure(AttrSet::empty(), &f), AttrSet::empty());
+    }
+
+    #[test]
+    fn empty_lhs_fds_fire_unconditionally() {
+        // ∅→A, A→B
+        let f = vec![fd(&[], 0), fd(&[0], 1)];
+        assert_eq!(closure(AttrSet::empty(), &f), s(&[0, 1]));
+    }
+
+    #[test]
+    fn chained_derivation() {
+        // A→B, AB→C, ABC→D ... closure(A) = ABCD
+        let f = vec![fd(&[0], 1), fd(&[0, 1], 2), fd(&[0, 1, 2], 3)];
+        assert_eq!(closure(s(&[0]), &f), s(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn linear_matches_naive_exhaustively() {
+        // All FD sets with 2 FDs over 3 attributes, all starting sets.
+        let attrs = 3usize;
+        let all_lhs: Vec<AttrSet> = (0u32..8).map(|b| AttrSet::from_bits(b as u128)).collect();
+        for &l1 in &all_lhs {
+            for r1 in 0..attrs {
+                for &l2 in &all_lhs {
+                    for r2 in 0..attrs {
+                        let f = vec![Fd::new(l1, r1), Fd::new(l2, r2)];
+                        for &x in &all_lhs {
+                            assert_eq!(
+                                closure(x, &f),
+                                closure_naive(x, &f),
+                                "mismatch for F={f:?}, X={x}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implies_membership() {
+        let f = vec![fd(&[0], 1), fd(&[1], 2)];
+        assert!(implies(&f, fd(&[0], 2)));
+        assert!(!implies(&f, fd(&[2], 0)));
+        // trivial FDs are always implied, even by the empty set
+        assert!(implies(&[], fd(&[0, 1], 1)));
+    }
+
+    #[test]
+    fn closedness() {
+        let f = vec![fd(&[0], 1)];
+        assert!(is_closed(s(&[1]), &f));
+        assert!(is_closed(s(&[0, 1]), &f));
+        assert!(!is_closed(s(&[0]), &f));
+        assert!(is_closed(AttrSet::empty(), &f));
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent() {
+        let f = vec![fd(&[0], 1), fd(&[1, 2], 3), fd(&[3], 4)];
+        let x = s(&[0, 2]);
+        let cx = closure(x, &f);
+        assert!(x.is_subset_of(cx)); // extensive
+        assert_eq!(closure(cx, &f), cx); // idempotent
+        let y = s(&[0, 2, 4]);
+        assert!(cx.is_subset_of(closure(y, &f))); // monotone
+    }
+}

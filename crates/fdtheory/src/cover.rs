@@ -1,0 +1,151 @@
+//! Covers of FD sets: implication, equivalence, canonical covers (§2).
+
+use crate::closure::{closure, implies};
+use crate::fd::{normalize_fds, Fd};
+
+/// `true` iff `F ⊨ G`: every FD of `g` is implied by `f`.
+pub fn covers(f: &[Fd], g: &[Fd]) -> bool {
+    g.iter().all(|&fd| implies(f, fd))
+}
+
+/// `true` iff `F` and `G` are covers of each other (`F ≡ G`).
+///
+/// This is the correctness criterion for every miner in this workspace:
+/// two discovery algorithms agree iff their outputs are equivalent covers of
+/// `dep(r)`.
+pub fn equivalent(f: &[Fd], g: &[Fd]) -> bool {
+    covers(f, g) && covers(g, f)
+}
+
+/// Left-reduces one FD: removes extraneous lhs attributes
+/// (attributes `B ∈ X` with `(X \ B) → A` still implied by `f`).
+fn left_reduce(f: &[Fd], fd: Fd) -> Fd {
+    let mut lhs = fd.lhs;
+    for b in fd.lhs.iter() {
+        let candidate = lhs.without(b);
+        if closure(candidate, f).contains(fd.rhs) {
+            lhs = candidate;
+        }
+    }
+    Fd::new(lhs, fd.rhs)
+}
+
+/// Computes a canonical (minimal) cover of `f`:
+///
+/// 1. every lhs is left-reduced (no extraneous attributes);
+/// 2. redundant FDs (implied by the rest) are removed;
+/// 3. trivial FDs are dropped; output is sorted and deduplicated.
+///
+/// The result is an equivalent cover of `f` in which no FD nor lhs
+/// attribute can be removed — the form 3NF synthesis requires.
+pub fn canonical_cover(f: &[Fd]) -> Vec<Fd> {
+    // Left-reduction first (against the full set, which is sound because
+    // reduction preserves equivalence at each step).
+    let mut g: Vec<Fd> = f
+        .iter()
+        .filter(|fd| !fd.is_trivial())
+        .map(|&fd| left_reduce(f, fd))
+        .collect();
+    normalize_fds(&mut g);
+    // Redundancy elimination: drop fd if the remainder still implies it.
+    let mut i = 0;
+    while i < g.len() {
+        let fd = g[i];
+        let mut rest = g.clone();
+        rest.remove(i);
+        if implies(&rest, fd) {
+            g = rest;
+        } else {
+            i += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depminer_relation::AttrSet;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(s(lhs), rhs)
+    }
+
+    #[test]
+    fn covers_and_equivalence() {
+        // {A→B, B→C} ⊨ A→C but not vice versa.
+        let f = vec![fd(&[0], 1), fd(&[1], 2)];
+        let g = vec![fd(&[0], 2)];
+        assert!(covers(&f, &g));
+        assert!(!covers(&g, &f));
+        assert!(!equivalent(&f, &g));
+        assert!(equivalent(&f, &f));
+        // Equivalent reformulation: {A→B, B→C, A→C}.
+        let h = vec![fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)];
+        assert!(equivalent(&f, &h));
+    }
+
+    #[test]
+    fn canonical_cover_removes_redundant_fd() {
+        let f = vec![fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)];
+        let cc = canonical_cover(&f);
+        assert_eq!(cc, vec![fd(&[0], 1), fd(&[1], 2)]);
+        assert!(equivalent(&cc, &f));
+    }
+
+    #[test]
+    fn canonical_cover_left_reduces() {
+        // AB→C with A→B means B is... no: A→B makes AB→C reducible to A→C.
+        let f = vec![fd(&[0], 1), fd(&[0, 1], 2)];
+        let cc = canonical_cover(&f);
+        assert!(cc.contains(&fd(&[0], 2)) || !cc.contains(&fd(&[0, 1], 2)));
+        assert!(equivalent(&cc, &f));
+        // The reduced cover must not contain an FD with a reducible lhs.
+        for &g in &cc {
+            for b in g.lhs.iter() {
+                let reduced = Fd::new(g.lhs.without(b), g.rhs);
+                assert!(
+                    !implies(&cc, reduced),
+                    "lhs of {g} still contains extraneous attribute"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_cover_drops_trivial() {
+        let f = vec![fd(&[0, 1], 1), fd(&[0], 2)];
+        assert_eq!(canonical_cover(&f), vec![fd(&[0], 2)]);
+    }
+
+    #[test]
+    fn canonical_cover_of_empty_is_empty() {
+        assert!(canonical_cover(&[]).is_empty());
+    }
+
+    #[test]
+    fn canonical_cover_is_irredundant() {
+        let f = vec![
+            fd(&[0], 1),
+            fd(&[1], 0),
+            fd(&[0], 2),
+            fd(&[1], 2),
+            fd(&[2, 3], 4),
+            fd(&[0, 3], 4),
+        ];
+        let cc = canonical_cover(&f);
+        assert!(equivalent(&cc, &f));
+        for i in 0..cc.len() {
+            let mut rest = cc.clone();
+            let gone = rest.remove(i);
+            assert!(
+                !implies(&rest, gone),
+                "{gone} is redundant in canonical cover"
+            );
+        }
+    }
+}

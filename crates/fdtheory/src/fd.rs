@@ -1,0 +1,112 @@
+//! Functional dependencies `X → A`.
+
+use depminer_relation::{AttrSet, Schema};
+use std::fmt;
+
+/// A functional dependency `X → A` with a single right-hand attribute (§2).
+///
+/// Any FD `X → Y` with composite rhs decomposes into `{X → A | A ∈ Y}`
+/// (Armstrong's decomposition rule), so single-rhs form loses no generality
+/// and is what every discovery algorithm emits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Left-hand side `X`.
+    pub lhs: AttrSet,
+    /// Right-hand attribute `A`.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Creates `lhs → rhs`.
+    pub fn new(lhs: AttrSet, rhs: usize) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// `true` iff `A ∈ X` (the FD holds in every relation).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(self.rhs)
+    }
+
+    /// All attributes mentioned by the FD.
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs.with(self.rhs)
+    }
+
+    /// Renders with schema names, e.g. `depnum -> depname`.
+    pub fn display_with(&self, schema: &Schema) -> String {
+        let lhs = if self.lhs.is_empty() {
+            "∅".to_string()
+        } else {
+            self.lhs
+                .iter()
+                .map(|a| schema.name(a).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!("{lhs} -> {}", schema.name(self.rhs))
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, AttrSet::singleton(self.rhs))
+    }
+}
+
+/// Sorts and deduplicates a set of FDs in place (canonical listing order:
+/// by rhs, then lhs).
+pub fn normalize_fds(fds: &mut Vec<Fd>) {
+    fds.sort_unstable_by_key(|f| (f.rhs, f.lhs));
+    fds.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(Fd::new(s(&[0, 1]), 1).is_trivial());
+        assert!(!Fd::new(s(&[0, 1]), 2).is_trivial());
+        assert!(!Fd::new(AttrSet::empty(), 0).is_trivial());
+    }
+
+    #[test]
+    fn attrs_and_display() {
+        let fd = Fd::new(s(&[1, 3]), 0);
+        assert_eq!(fd.attrs(), s(&[0, 1, 3]));
+        assert_eq!(fd.to_string(), "BD -> A");
+        let schema = Schema::new(["x", "y", "z", "w"]).unwrap();
+        assert_eq!(fd.display_with(&schema), "y w -> x");
+        assert_eq!(Fd::new(AttrSet::empty(), 2).display_with(&schema), "∅ -> z");
+    }
+
+    #[test]
+    fn normalize_orders_and_dedups() {
+        let mut v = vec![
+            Fd::new(s(&[1]), 2),
+            Fd::new(s(&[0]), 0),
+            Fd::new(s(&[1]), 2),
+            Fd::new(s(&[0, 1]), 0),
+        ];
+        normalize_fds(&mut v);
+        assert_eq!(
+            v,
+            vec![
+                Fd::new(s(&[0]), 0),
+                Fd::new(s(&[0, 1]), 0),
+                Fd::new(s(&[1]), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! # depminer-hypergraph
+//!
+//! Simple hypergraphs over attribute sets and **minimal transversal**
+//! computation — the combinatorial engine behind Dep-Miner's
+//! `LEFT_HAND_SIDE` step (Algorithm 5 of the paper).
+//!
+//! A collection `H` of subsets of `R` is a *simple hypergraph* if no edge is
+//! empty and no edge contains another (§2, after Berge). A *transversal*
+//! intersects every edge; [`Hypergraph::min_transversals_levelwise`]
+//! computes the set `Tr(H)` of minimal transversals with the paper's
+//! levelwise algorithm (Apriori-gen candidate generation), and
+//! [`Hypergraph::min_transversals_berge`] with Berge's classic
+//! edge-by-edge product — used as a cross-check and for the
+//! `cmax = Tr(lhs)` direction (§5.1, nihilpotence `Tr(Tr(H)) = H`).
+
+#![warn(missing_docs)]
+
+pub mod berge;
+pub mod dfs;
+pub mod levelwise;
+
+use depminer_relation::{retain_minimal, AttrSet};
+use std::fmt;
+
+/// A simple hypergraph: a ⊆-antichain of non-empty edges over a vertex
+/// universe `0..n_vertices`.
+///
+/// # Examples
+///
+/// ```
+/// use depminer_hypergraph::Hypergraph;
+/// use depminer_relation::AttrSet;
+///
+/// // H = { {0,1}, {1,2} } over 3 vertices.
+/// let h = Hypergraph::new(
+///     3,
+///     vec![AttrSet::from_indices([0, 1]), AttrSet::from_indices([1, 2])],
+/// );
+/// let tr = h.min_transversals_levelwise();
+/// // Tr(H) = { {1}, {0,2} }
+/// assert_eq!(tr.len(), 2);
+/// assert!(tr.contains(&AttrSet::singleton(1)));
+/// assert!(tr.contains(&AttrSet::from_indices([0, 2])));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n_vertices: usize,
+    edges: Vec<AttrSet>,
+}
+
+impl Hypergraph {
+    /// Builds a simple hypergraph from arbitrary edges: empty edges are
+    /// dropped and non-minimal edges removed (simplification), since
+    /// transversals of `H` and of its minimal edges coincide.
+    pub fn new(n_vertices: usize, mut edges: Vec<AttrSet>) -> Self {
+        edges.retain(|e| !e.is_empty());
+        retain_minimal(&mut edges);
+        edges.sort();
+        Hypergraph { n_vertices, edges }
+    }
+
+    /// Number of vertices in the universe.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// The (minimized, sorted) edges.
+    #[inline]
+    pub fn edges(&self) -> &[AttrSet] {
+        &self.edges
+    }
+
+    /// `true` when the hypergraph has no edges (every set, including `∅`,
+    /// is then a transversal, and `Tr(H) = {∅}`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The union of all edges: the vertices that actually matter for
+    /// transversals.
+    pub fn vertex_support(&self) -> AttrSet {
+        self.edges
+            .iter()
+            .fold(AttrSet::empty(), |acc, &e| acc.union(e))
+    }
+
+    /// `true` iff `t` intersects every edge.
+    pub fn is_transversal(&self, t: AttrSet) -> bool {
+        self.edges.iter().all(|&e| t.intersects(e))
+    }
+
+    /// `true` iff `t` is a transversal and no proper subset of `t` is.
+    ///
+    /// Minimality check uses the standard criterion: every vertex of `t` has
+    /// a *private* edge that `t` meets only through that vertex.
+    pub fn is_minimal_transversal(&self, t: AttrSet) -> bool {
+        if !self.is_transversal(t) {
+            return false;
+        }
+        t.iter().all(|v| {
+            let rest = t.without(v);
+            self.edges
+                .iter()
+                .any(|&e| e.contains(v) && !rest.intersects(e))
+        })
+    }
+
+    /// Minimal transversals via the paper's levelwise algorithm
+    /// (Algorithm 5). See [`levelwise::min_transversals`].
+    pub fn min_transversals_levelwise(&self) -> Vec<AttrSet> {
+        levelwise::min_transversals(self)
+    }
+
+    /// Minimal transversals via Berge's incremental algorithm.
+    /// See [`berge::min_transversals`].
+    pub fn min_transversals_berge(&self) -> Vec<AttrSet> {
+        berge::min_transversals(self)
+    }
+
+    /// Minimal transversals via FastFDs-style ordered depth-first search.
+    /// See [`dfs::min_transversals`].
+    pub fn min_transversals_dfs(&self) -> Vec<AttrSet> {
+        dfs::min_transversals(self)
+    }
+
+    /// The transversal hypergraph `Tr(H)` as a new [`Hypergraph`]
+    /// (levelwise engine).
+    pub fn transversal_hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(self.n_vertices, self.min_transversals_levelwise())
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hypergraph(n={}, edges=[", self.n_vertices)?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn construction_simplifies() {
+        let h = Hypergraph::new(
+            4,
+            vec![s(&[0, 1, 2]), s(&[0, 1]), AttrSet::empty(), s(&[0, 1])],
+        );
+        assert_eq!(h.edges(), &[s(&[0, 1])]);
+    }
+
+    #[test]
+    fn transversal_predicates() {
+        let h = Hypergraph::new(3, vec![s(&[0, 1]), s(&[1, 2])]);
+        assert!(h.is_transversal(s(&[1])));
+        assert!(h.is_transversal(s(&[0, 1, 2])));
+        assert!(!h.is_transversal(s(&[0])));
+        assert!(h.is_minimal_transversal(s(&[1])));
+        assert!(h.is_minimal_transversal(s(&[0, 2])));
+        assert!(!h.is_minimal_transversal(s(&[0, 1])));
+        assert!(!h.is_minimal_transversal(AttrSet::empty()));
+    }
+
+    #[test]
+    fn empty_hypergraph_has_empty_transversal() {
+        let h = Hypergraph::new(3, vec![]);
+        assert!(h.is_empty());
+        assert!(h.is_transversal(AttrSet::empty()));
+        assert!(h.is_minimal_transversal(AttrSet::empty()));
+        assert_eq!(h.min_transversals_levelwise(), vec![AttrSet::empty()]);
+        assert_eq!(h.min_transversals_berge(), vec![AttrSet::empty()]);
+    }
+
+    #[test]
+    fn vertex_support() {
+        let h = Hypergraph::new(10, vec![s(&[1, 3]), s(&[3, 7])]);
+        assert_eq!(h.vertex_support(), s(&[1, 3, 7]));
+    }
+
+    #[test]
+    fn nihilpotence_on_small_graphs() {
+        // Tr(Tr(H)) = H for simple hypergraphs (Berge; §5.1 of the paper).
+        let cases = vec![
+            vec![s(&[0, 1]), s(&[1, 2])],
+            vec![s(&[0]), s(&[1, 2, 3])],
+            vec![s(&[0, 1, 2])],
+            vec![s(&[0, 2]), s(&[1, 3]), s(&[0, 3])],
+        ];
+        for edges in cases {
+            let h = Hypergraph::new(4, edges);
+            let trtr = h.transversal_hypergraph().transversal_hypergraph();
+            assert_eq!(trtr.edges(), h.edges(), "Tr(Tr(H)) != H for {h:?}");
+        }
+    }
+}

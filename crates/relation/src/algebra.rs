@@ -1,0 +1,206 @@
+//! Minimal relational algebra: projection and natural join.
+//!
+//! Just enough algebra to *verify* normalization: a decomposition is
+//! lossless iff joining the projected fragments reproduces the original
+//! relation — the property `bcnf_decompose` / `synthesize_3nf` promise and
+//! the integration tests check on real data.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Projects `r` onto the attributes in `attrs`, eliminating duplicate
+/// tuples (set semantics). Column order follows the original schema.
+///
+/// # Errors
+///
+/// Returns [`RelationError::EmptySchema`] when `attrs` is empty.
+pub fn project(r: &Relation, attrs: AttrSet) -> Result<Relation, RelationError> {
+    let cols: Vec<usize> = attrs.iter().filter(|&a| a < r.arity()).collect();
+    let schema = Schema::new(cols.iter().map(|&a| r.schema().name(a)))?;
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for t in 0..r.len() {
+        let key: Vec<u32> = cols.iter().map(|&a| r.column(a).code(t)).collect();
+        if seen.insert(key) {
+            rows.push(cols.iter().map(|&a| r.value(t, a).clone()).collect());
+        }
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// Natural join `left ⋈ right` on the attributes sharing a *name*.
+///
+/// With no shared attributes this degenerates to the cross product. The
+/// result schema is `left`'s attributes followed by `right`'s non-shared
+/// attributes; duplicate result tuples are eliminated (set semantics).
+///
+/// # Errors
+///
+/// Propagates schema-construction errors (cannot occur for well-formed
+/// inputs).
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    // Identify shared attributes by name.
+    let shared: Vec<(usize, usize)> = (0..left.arity())
+        .filter_map(|la| {
+            right
+                .schema()
+                .index_of(left.schema().name(la))
+                .map(|ra| (la, ra))
+        })
+        .collect();
+    let right_only: Vec<usize> = (0..right.arity())
+        .filter(|&ra| left.schema().index_of(right.schema().name(ra)).is_none())
+        .collect();
+    let schema = Schema::new(
+        left.schema()
+            .names()
+            .iter()
+            .map(String::as_str)
+            .chain(right_only.iter().map(|&ra| right.schema().name(ra))),
+    )?;
+
+    // Hash the right side by its join-key values.
+    let mut index: FxHashMap<Vec<&Value>, Vec<usize>> = FxHashMap::default();
+    for t in 0..right.len() {
+        let key: Vec<&Value> = shared.iter().map(|&(_, ra)| right.value(t, ra)).collect();
+        index.entry(key).or_default().push(t);
+    }
+
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for lt in 0..left.len() {
+        let key: Vec<&Value> = shared.iter().map(|&(la, _)| left.value(lt, la)).collect();
+        if let Some(matches) = index.get(&key) {
+            for &rt in matches {
+                let mut row: Vec<Value> = (0..left.arity())
+                    .map(|a| left.value(lt, a).clone())
+                    .collect();
+                row.extend(right_only.iter().map(|&ra| right.value(rt, ra).clone()));
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// `true` iff `left` and `right` contain the same tuple sets, matching
+/// attributes *by name* (order-insensitive). Duplicates are ignored.
+pub fn same_instance(left: &Relation, right: &Relation) -> bool {
+    if left.arity() != right.arity() {
+        return false;
+    }
+    let Some(perm): Option<Vec<usize>> = (0..left.arity())
+        .map(|la| right.schema().index_of(left.schema().name(la)))
+        .collect()
+    else {
+        return false;
+    };
+    let lrows: std::collections::HashSet<Vec<&Value>> = (0..left.len())
+        .map(|t| (0..left.arity()).map(|a| left.value(t, a)).collect())
+        .collect();
+    let rrows: std::collections::HashSet<Vec<&Value>> = (0..right.len())
+        .map(|t| perm.iter().map(|&ra| right.value(t, ra)).collect())
+        .collect();
+    lrows == rrows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn project_deduplicates() {
+        let r = datasets::employee();
+        // depnum, depname: 4 distinct pairs.
+        let p = project(&r, AttrSet::from_indices([1, 3])).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.schema().names(), &["depnum", "depname"]);
+    }
+
+    #[test]
+    fn project_empty_attrs_errors() {
+        let r = datasets::employee();
+        assert!(project(&r, AttrSet::empty()).is_err());
+    }
+
+    #[test]
+    fn project_full_is_identity_modulo_duplicates() {
+        let r = datasets::employee();
+        let p = project(&r, r.schema().all_attrs()).unwrap();
+        assert!(same_instance(&r, &p));
+    }
+
+    #[test]
+    fn natural_join_recombines_decomposition() {
+        // Split employee on depnum: (empnum, depnum, year) ⋈ (depnum,
+        // depname, mgr). depnum → depname mgr holds, so the join is
+        // lossless.
+        let r = datasets::employee();
+        let left = project(&r, AttrSet::from_indices([0, 1, 2])).unwrap();
+        let right = project(&r, AttrSet::from_indices([1, 3, 4])).unwrap();
+        let joined = natural_join(&left, &right).unwrap();
+        assert!(
+            same_instance(&joined, &r),
+            "lossless join failed:\n{joined}"
+        );
+    }
+
+    #[test]
+    fn lossy_split_grows() {
+        // Splitting on a non-determining attribute loses information:
+        // (empnum, year) ⋈ (year, depnum) creates spurious tuples.
+        let r = datasets::employee();
+        let left = project(&r, AttrSet::from_indices([0, 2])).unwrap();
+        let right = project(&r, AttrSet::from_indices([1, 2])).unwrap();
+        let joined = natural_join(&left, &right).unwrap();
+        let original = project(&r, AttrSet::from_indices([0, 1, 2])).unwrap();
+        assert!(joined.len() >= original.len());
+        assert!(!same_instance(&joined, &original));
+    }
+
+    #[test]
+    fn join_without_shared_attrs_is_cross_product() {
+        let a = Relation::from_rows(
+            Schema::new(["x"]).unwrap(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let b = Relation::from_rows(
+            Schema::new(["y"]).unwrap(),
+            vec![vec![Value::Int(10)], vec![Value::Int(20)]],
+        )
+        .unwrap();
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.schema().names(), &["x", "y"]);
+    }
+
+    #[test]
+    fn same_instance_is_order_insensitive() {
+        let a = Relation::from_rows(
+            Schema::new(["x", "y"]).unwrap(),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
+        let b = Relation::from_rows(
+            Schema::new(["y", "x"]).unwrap(),
+            vec![vec![Value::Int(2), Value::Int(1)]],
+        )
+        .unwrap();
+        assert!(same_instance(&a, &b));
+        let c = Relation::from_rows(
+            Schema::new(["x", "z"]).unwrap(),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
+        assert!(!same_instance(&a, &c));
+    }
+}

@@ -1,0 +1,310 @@
+//! Built-in example datasets.
+//!
+//! [`employee`] is the running example of the paper (Example 1): the
+//! assignment of employees to departments. Every worked example (agree sets,
+//! MC, maximal sets, lhs, Armstrong relations) is checked against it in unit
+//! and integration tests. The other datasets exercise edge shapes.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// The paper's Example 1 relation (7 tuples, 5 attributes).
+///
+/// ```text
+/// empnum  depnum  year  depname       mgr
+///      1       1    85  Biochemistry    5
+///      1       5    94  Admission      12
+///      2       2    92  Computer Sce    2
+///      3       2    98  Computer Sce    2
+///      4       3    98  Geophysics      2
+///      5       1    75  Biochemistry    5
+///      6       5    88  Admission      12
+/// ```
+///
+/// Attributes are aliased `A..E` throughout the paper; the same order is
+/// preserved here (`empnum = A = 0`, …, `mgr = E = 4`).
+pub fn employee() -> Relation {
+    let schema = Schema::new(["empnum", "depnum", "year", "depname", "mgr"]).expect("valid schema");
+    let row = |e: i64, d: i64, y: i64, n: &str, m: i64| {
+        vec![
+            Value::Int(e),
+            Value::Int(d),
+            Value::Int(y),
+            Value::from(n),
+            Value::Int(m),
+        ]
+    };
+    Relation::from_rows(
+        schema,
+        vec![
+            row(1, 1, 85, "Biochemistry", 5),
+            row(1, 5, 94, "Admission", 12),
+            row(2, 2, 92, "Computer Sce", 2),
+            row(3, 2, 98, "Computer Sce", 2),
+            row(4, 3, 98, "Geophysics", 2),
+            row(5, 1, 75, "Biochemistry", 5),
+            row(6, 5, 88, "Admission", 12),
+        ],
+    )
+    .expect("valid relation")
+}
+
+/// A small course-enrollment relation with a richer FD structure:
+/// `course → (lecturer, room)`, `(student, course) → grade`,
+/// `lecturer → room` (accidentally), and no single-attribute key.
+pub fn enrollment() -> Relation {
+    let schema =
+        Schema::new(["student", "course", "lecturer", "room", "grade"]).expect("valid schema");
+    let row = |s: &str, c: &str, l: &str, r: i64, g: &str| {
+        vec![
+            Value::from(s),
+            Value::from(c),
+            Value::from(l),
+            Value::Int(r),
+            Value::from(g),
+        ]
+    };
+    Relation::from_rows(
+        schema,
+        vec![
+            row("ann", "db", "smith", 101, "A"),
+            row("ann", "os", "jones", 102, "B"),
+            row("bob", "db", "smith", 101, "C"),
+            row("bob", "ml", "white", 103, "A"),
+            row("cat", "os", "jones", 102, "A"),
+            row("cat", "db", "smith", 101, "B"),
+            row("dan", "ml", "white", 103, "C"),
+        ],
+    )
+    .expect("valid relation")
+}
+
+/// A relation where every tuple is identical except for a key column:
+/// all non-key columns are constants, so `∅ → A` holds for them. Exercises
+/// the empty-lhs corner everywhere.
+pub fn constant_columns() -> Relation {
+    let schema = Schema::new(["id", "k1", "k2"]).expect("valid schema");
+    Relation::from_columns(
+        schema,
+        vec![vec![0, 1, 2, 3], vec![9, 9, 9, 9], vec![4, 4, 4, 4]],
+    )
+    .expect("valid relation")
+}
+
+/// A relation with no non-trivial FDs at all: tuples pairwise agree on at
+/// most `R \ {one attribute}`... i.e. an Armstrong-style relation for the
+/// empty FD set over 3 attributes.
+pub fn no_fds() -> Relation {
+    let schema = Schema::synthetic(3).expect("valid schema");
+    // Tuple i agrees with tuple 0 exactly on R \ {attr i-1}; pairwise
+    // other agreements are smaller.
+    Relation::from_columns(
+        schema,
+        vec![vec![0, 9, 0, 0], vec![0, 0, 9, 0], vec![0, 0, 0, 9]],
+    )
+    .expect("valid relation")
+}
+
+/// A payroll relation with a transitive chain:
+/// `emp → dept → manager → floor`, plus `emp → salary`.
+/// Exercises long implication chains in covers and normalization.
+pub fn payroll() -> Relation {
+    let schema = Schema::new(["emp", "dept", "manager", "floor", "salary"]).expect("valid schema");
+    let row = |e: &str, d: &str, m: &str, f: i64, s: i64| {
+        vec![
+            Value::from(e),
+            Value::from(d),
+            Value::from(m),
+            Value::Int(f),
+            Value::Int(s),
+        ]
+    };
+    Relation::from_rows(
+        schema,
+        vec![
+            row("ann", "eng", "maya", 3, 95),
+            row("bob", "eng", "maya", 3, 90),
+            row("cat", "ops", "noor", 2, 80),
+            row("dan", "ops", "noor", 2, 85),
+            row("eve", "hr", "omar", 2, 70),
+            row("fay", "eng", "maya", 3, 110),
+            row("gil", "hr", "omar", 2, 75),
+        ],
+    )
+    .expect("valid relation")
+}
+
+/// A flight-schedule relation: `flight → (origin, dest, carrier)`, and
+/// `(flight, date)` is the key. `carrier` is also determined by `origin`
+/// accidentally (small extension).
+pub fn flights() -> Relation {
+    let schema =
+        Schema::new(["flight", "date", "origin", "dest", "carrier"]).expect("valid schema");
+    let row = |f: &str, dt: &str, o: &str, d: &str, c: &str| {
+        vec![
+            Value::from(f),
+            Value::from(dt),
+            Value::from(o),
+            Value::from(d),
+            Value::from(c),
+        ]
+    };
+    Relation::from_rows(
+        schema,
+        vec![
+            row("AF1", "mon", "CDG", "JFK", "AF"),
+            row("AF1", "tue", "CDG", "JFK", "AF"),
+            row("BA2", "mon", "LHR", "SFO", "BA"),
+            row("BA2", "wed", "LHR", "SFO", "BA"),
+            row("AF3", "mon", "CDG", "NRT", "AF"),
+            row("BA4", "tue", "LHR", "JFK", "BA"),
+            row("AF3", "thu", "CDG", "NRT", "AF"),
+        ],
+    )
+    .expect("valid relation")
+}
+
+/// An adversarial family: `n + 1` tuples over `n` attributes where tuple
+/// `i > 0` differs from tuple 0 exactly on attribute `i - 1`. The agree
+/// sets are all `(n-1)`-subsets `R \ {a}`, so `max(dep(r), A)` contains
+/// `n - 1` sets and the lhs hypergraphs are dense — a worst-ish case for
+/// the transversal step. Generalizes [`no_fds`] (which is `antichain(3)`).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds [`crate::MAX_ATTRS`].
+pub fn antichain(n: usize) -> Relation {
+    let schema = Schema::synthetic(n).expect("n within limits");
+    let columns: Vec<Vec<u32>> = (0..n)
+        .map(|a| {
+            (0..=n as u32)
+                .map(|t| if t == a as u32 + 1 { 9_000 + t } else { 0 })
+                .collect()
+        })
+        .collect();
+    Relation::from_columns(schema, columns).expect("valid relation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+
+    #[test]
+    fn employee_shape() {
+        let r = employee();
+        assert_eq!(r.arity(), 5);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.schema().index_of("mgr"), Some(4));
+    }
+
+    #[test]
+    fn employee_agree_sets_match_example_5() {
+        // ag(1,2)=A, ag(1,6)=BDE, ag(2,7)=BDE, ag(3,4)=BDE, ag(3,5)=E,
+        // ag(4,5)=CE (paper ids; 0-based here).
+        let r = employee();
+        let s = |names: &[usize]| AttrSet::from_indices(names.iter().copied());
+        assert_eq!(r.agree_set(0, 1), s(&[0]));
+        assert_eq!(r.agree_set(0, 5), s(&[1, 3, 4]));
+        assert_eq!(r.agree_set(1, 6), s(&[1, 3, 4]));
+        assert_eq!(r.agree_set(2, 3), s(&[1, 3, 4]));
+        assert_eq!(r.agree_set(2, 4), s(&[4]));
+        assert_eq!(r.agree_set(3, 4), s(&[2, 4]));
+    }
+
+    #[test]
+    fn enrollment_fds() {
+        let r = enrollment();
+        let s = r.schema().clone();
+        let i = |n: &str| s.index_of(n).unwrap();
+        assert!(r.satisfies(AttrSet::singleton(i("course")), i("lecturer")));
+        assert!(r.satisfies(AttrSet::singleton(i("course")), i("room")));
+        assert!(r.satisfies(AttrSet::singleton(i("lecturer")), i("room")));
+        assert!(r.satisfies(
+            AttrSet::from_indices([i("student"), i("course")]),
+            i("grade")
+        ));
+        assert!(!r.satisfies(AttrSet::singleton(i("student")), i("grade")));
+    }
+
+    #[test]
+    fn constant_columns_has_empty_lhs_fds() {
+        let r = constant_columns();
+        assert!(r.satisfies(AttrSet::empty(), 1));
+        assert!(r.satisfies(AttrSet::empty(), 2));
+        assert!(!r.satisfies(AttrSet::empty(), 0));
+        assert!(r.is_superkey(AttrSet::singleton(0)));
+    }
+
+    #[test]
+    fn payroll_transitive_chain() {
+        let r = payroll();
+        let s = r.schema().clone();
+        let i = |n: &str| s.index_of(n).unwrap();
+        assert!(r.satisfies(AttrSet::singleton(i("dept")), i("manager")));
+        assert!(r.satisfies(AttrSet::singleton(i("manager")), i("floor")));
+        assert!(r.satisfies(AttrSet::singleton(i("emp")), i("salary")));
+        assert!(r.is_superkey(AttrSet::singleton(i("emp"))));
+        // floor does NOT determine dept (ops and hr share floor 2).
+        assert!(!r.satisfies(AttrSet::singleton(i("floor")), i("dept")));
+    }
+
+    #[test]
+    fn flights_fd_structure() {
+        let r = flights();
+        let s = r.schema().clone();
+        let i = |n: &str| s.index_of(n).unwrap();
+        assert!(r.satisfies(AttrSet::singleton(i("flight")), i("origin")));
+        assert!(r.satisfies(AttrSet::singleton(i("flight")), i("dest")));
+        assert!(r.satisfies(AttrSet::singleton(i("origin")), i("carrier")));
+        assert!(r.is_superkey(AttrSet::from_indices([i("flight"), i("date")])));
+        assert!(!r.is_superkey(AttrSet::singleton(i("flight"))));
+    }
+
+    #[test]
+    fn antichain_generalizes_no_fds() {
+        for n in 2..=6 {
+            let r = antichain(n);
+            assert_eq!(r.len(), n + 1);
+            // agree(t0, ti) = R \ {i-1}; agree(ti, tj) = R \ {i-1, j-1}.
+            for i in 1..=n {
+                assert_eq!(
+                    r.agree_set(0, i),
+                    AttrSet::full(n).without(i - 1),
+                    "n={n}, i={i}"
+                );
+            }
+            // no non-trivial FD holds
+            for a in 0..n {
+                assert!(!r.satisfies(AttrSet::full(n).without(a), a));
+            }
+        }
+        // antichain(3) has the same dependency structure as no_fds().
+        let a3 = antichain(3);
+        let nf = no_fds();
+        for x in 0u32..8 {
+            let x = AttrSet::from_bits(x as u128);
+            for a in 0..3 {
+                assert_eq!(a3.satisfies(x, a), nf.satisfies(x, a));
+            }
+        }
+    }
+
+    #[test]
+    fn no_fds_relation_satisfies_nothing_nontrivial() {
+        let r = no_fds();
+        for a in 0..3 {
+            for x_bits in 0u32..8 {
+                let x = AttrSet::from_bits(x_bits as u128);
+                if x.contains(a) {
+                    continue; // trivial
+                }
+                assert!(
+                    !r.satisfies(x, a),
+                    "unexpected FD {x} -> {a} in no_fds dataset"
+                );
+            }
+        }
+    }
+}

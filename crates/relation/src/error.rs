@@ -1,0 +1,129 @@
+//! Error types for the relation crate.
+
+use std::fmt;
+
+/// Errors arising while constructing or loading relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A schema must have at least one attribute.
+    EmptySchema,
+    /// More attributes than [`MAX_ATTRS`](crate::attrset::MAX_ATTRS).
+    SchemaTooWide {
+        /// The offending width.
+        width: usize,
+    },
+    /// Two attributes share a name.
+    DuplicateAttribute {
+        /// The repeated name.
+        name: String,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute {
+        /// The unknown name.
+        name: String,
+    },
+    /// A row's arity does not match the schema's.
+    ArityMismatch {
+        /// Row number (0-based) in the input.
+        row: usize,
+        /// Number of values found.
+        found: usize,
+        /// Number of values expected (schema arity).
+        expected: usize,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// I/O failure while reading or writing a relation.
+    Io(String),
+    /// No real-world Armstrong relation exists: an attribute lacks enough
+    /// distinct values (Proposition 1 of the paper).
+    ArmstrongNotRealizable {
+        /// The failing attribute's name.
+        attribute: String,
+        /// Distinct values required (`|{X ∈ MAX | A ∉ X}| + 1`).
+        needed: usize,
+        /// Distinct values available (`|π_A(r)|`).
+        available: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::EmptySchema => write!(f, "schema must have at least one attribute"),
+            RelationError::SchemaTooWide { width } => {
+                write!(f, "schema has {width} attributes; the maximum is 128")
+            }
+            RelationError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name: {name:?}")
+            }
+            RelationError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute name: {name:?}")
+            }
+            RelationError::ArityMismatch {
+                row,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "row {row} has {found} values but the schema has {expected} attributes"
+                )
+            }
+            RelationError::Csv { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
+            RelationError::Io(msg) => write!(f, "I/O error: {msg}"),
+            RelationError::ArmstrongNotRealizable {
+                attribute,
+                needed,
+                available,
+            } => write!(
+                f,
+                "no real-world Armstrong relation: attribute {attribute:?} needs {needed} \
+                 distinct values, has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        RelationError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::ArityMismatch {
+            row: 3,
+            found: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("row 3"));
+        assert!(e.to_string().contains("2 values"));
+        let e = RelationError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RelationError = io.into();
+        assert!(matches!(e, RelationError::Io(_)));
+    }
+}

@@ -1,0 +1,179 @@
+//! The synthetic benchmark database of §5.2.
+//!
+//! The paper generates relations controlled by three parameters (Table 2):
+//! `|R|` (number of attributes), `|r|` (number of tuples) and `c`, the
+//! "rate of identical values": with `c = 50%` and 1000 tuples, "each value
+//! for this attribute is chosen between 500 possible values". We reproduce
+//! that model exactly: every cell of column `A` is drawn uniformly from a
+//! domain of `max(1, round((1 - c) · |r|))` values. `c = 0` is the paper's
+//! "data sets without constraints".
+//!
+//! Generation is deterministic given a seed, so every experiment in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for synthetic relation generation (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// `|R|`: number of attributes.
+    pub n_attrs: usize,
+    /// `|r|`: number of tuples.
+    pub n_rows: usize,
+    /// `c ∈ [0, 1)`: rate of identical values. `0.0` means "without
+    /// constraints"; `0.3` and `0.5` are the paper's correlated settings.
+    pub correlation: f64,
+    /// RNG seed; same seed ⇒ same relation.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor with a fixed default seed.
+    pub fn new(n_attrs: usize, n_rows: usize, correlation: f64) -> Self {
+        SyntheticConfig {
+            n_attrs,
+            n_rows,
+            correlation,
+            seed: 0xDE9_41E5,
+        }
+    }
+
+    /// Domain size per column implied by `c` and `|r|` (§5.2).
+    pub fn domain_size(&self) -> u32 {
+        let d = ((1.0 - self.correlation) * self.n_rows as f64).round();
+        (d.max(1.0)) as u32
+    }
+
+    /// Generates the relation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema construction errors (e.g. `n_attrs` > 128) and
+    /// rejects `correlation` outside `[0, 1)`.
+    pub fn generate(&self) -> Result<Relation, RelationError> {
+        if !(0.0..1.0).contains(&self.correlation) {
+            return Err(RelationError::Io(format!(
+                "correlation must be in [0,1), got {}",
+                self.correlation
+            )));
+        }
+        let schema = Schema::synthetic(self.n_attrs)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let domain = self.domain_size();
+        let columns: Vec<Vec<u32>> = (0..self.n_attrs)
+            .map(|_| (0..self.n_rows).map(|_| rng.gen_range(0..domain)).collect())
+            .collect();
+        Relation::from_columns(schema, columns)
+    }
+}
+
+/// Generates the paper's three benchmark families for one `(|R|, |r|)` cell:
+/// `c = 0` (without constraints), `c = 0.3`, `c = 0.5`.
+pub fn benchmark_cell(
+    n_attrs: usize,
+    n_rows: usize,
+    seed: u64,
+) -> Result<[Relation; 3], RelationError> {
+    let mk = |c: f64, salt: u64| {
+        SyntheticConfig {
+            n_attrs,
+            n_rows,
+            correlation: c,
+            seed: seed ^ salt,
+        }
+        .generate()
+    };
+    Ok([mk(0.0, 0)?, mk(0.3, 0x33)?, mk(0.5, 0x55)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig {
+            n_attrs: 5,
+            n_rows: 100,
+            correlation: 0.3,
+            seed: 7,
+        };
+        let a = cfg.generate().unwrap();
+        let b = cfg.generate().unwrap();
+        assert_eq!(a, b);
+        let c = SyntheticConfig { seed: 8, ..cfg }.generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let r = SyntheticConfig::new(12, 250, 0.0).generate().unwrap();
+        assert_eq!(r.arity(), 12);
+        assert_eq!(r.len(), 250);
+    }
+
+    #[test]
+    fn domain_size_follows_paper_formula() {
+        // §5.2: c = 50%, 1000 tuples ⇒ 500 possible values.
+        let cfg = SyntheticConfig::new(1, 1000, 0.5);
+        assert_eq!(cfg.domain_size(), 500);
+        let cfg = SyntheticConfig::new(1, 1000, 0.0);
+        assert_eq!(cfg.domain_size(), 1000);
+        // Degenerate: c close to 1 never yields an empty domain.
+        let cfg = SyntheticConfig::new(1, 10, 0.99);
+        assert!(cfg.domain_size() >= 1);
+    }
+
+    #[test]
+    fn correlation_bounds_distinct_counts() {
+        // With c = 0.5 over 1000 rows, each column has ≤ 500 distinct values
+        // and (w.h.p.) far more duplicates than the c = 0 case.
+        let lo = SyntheticConfig {
+            n_attrs: 3,
+            n_rows: 1000,
+            correlation: 0.5,
+            seed: 1,
+        }
+        .generate()
+        .unwrap();
+        let hi = SyntheticConfig {
+            n_attrs: 3,
+            n_rows: 1000,
+            correlation: 0.0,
+            seed: 1,
+        }
+        .generate()
+        .unwrap();
+        for a in 0..3 {
+            assert!(lo.column(a).distinct_count() <= 500);
+            assert!(lo.column(a).distinct_count() < hi.column(a).distinct_count());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_correlation() {
+        assert!(SyntheticConfig::new(2, 10, 1.0).generate().is_err());
+        assert!(SyntheticConfig::new(2, 10, -0.1).generate().is_err());
+    }
+
+    #[test]
+    fn benchmark_cell_produces_three_families() {
+        let [c0, c30, c50] = benchmark_cell(4, 200, 42).unwrap();
+        assert_eq!(c0.len(), 200);
+        assert_eq!(c30.len(), 200);
+        assert_eq!(c50.len(), 200);
+        // Higher correlation ⇒ fewer distinct values in expectation.
+        let d = |r: &Relation| r.column(0).distinct_count();
+        assert!(d(&c50) <= d(&c0));
+    }
+
+    #[test]
+    fn zero_rows_is_fine() {
+        let r = SyntheticConfig::new(3, 0, 0.0).generate().unwrap();
+        assert!(r.is_empty());
+    }
+}

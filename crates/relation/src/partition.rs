@@ -1,0 +1,364 @@
+//! Partitions and stripped partitions (§3.1, after [CKS86, Spy87, HKPT98]).
+//!
+//! The partition `π_X` groups tuples by their `X`-projection; the *stripped*
+//! partition `π̂_X` drops singleton classes, since a tuple alone in its class
+//! can never contribute to an agree set or violate an FD.
+//!
+//! Stripped partitions support the two operations the miners need:
+//!
+//! * construction per attribute from a dictionary-encoded column (O(n));
+//! * the *product* `π̂_X · π̂_A = π̂_{X∪A}` (linear-time probe-table
+//!   algorithm from the TANE paper), which lets TANE walk up the lattice.
+
+use crate::attrset::AttrSet;
+use crate::relation::Relation;
+
+/// A full partition `π_X`: every tuple appears in exactly one class.
+///
+/// Kept mainly for pedagogy and testing; the miners use
+/// [`StrippedPartition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Equivalence classes; each class lists tuple ids in ascending order.
+    pub classes: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Computes `π_A` for a single attribute.
+    pub fn for_attribute(r: &Relation, a: usize) -> Partition {
+        let col = r.column(a);
+        let mut classes: Vec<Vec<u32>> = vec![Vec::new(); col.distinct_count()];
+        for (t, &code) in col.codes().iter().enumerate() {
+            classes[code as usize].push(t as u32);
+        }
+        classes.retain(|c| !c.is_empty());
+        Partition { classes }
+    }
+
+    /// Computes `π_X` for an attribute set by hashing projections.
+    pub fn for_set(r: &Relation, x: AttrSet) -> Partition {
+        use std::collections::HashMap;
+        let cols: Vec<&[u32]> = x.iter().map(|a| r.column(a).codes()).collect();
+        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for t in 0..r.len() {
+            let key: Vec<u32> = cols.iter().map(|c| c[t]).collect();
+            groups.entry(key).or_default().push(t as u32);
+        }
+        let mut classes: Vec<Vec<u32>> = groups.into_values().collect();
+        classes.sort_unstable_by_key(|c| c.first().copied());
+        Partition { classes }
+    }
+
+    /// Drops singleton classes, yielding the stripped partition `π̂_X`.
+    pub fn strip(self, n_rows: usize) -> StrippedPartition {
+        let classes: Vec<Vec<u32>> = self.classes.into_iter().filter(|c| c.len() > 1).collect();
+        StrippedPartition::from_classes(classes, n_rows)
+    }
+
+    /// Number of classes `|π_X|`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// A stripped partition `π̂_X`: only classes of size ≥ 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    classes: Vec<Vec<u32>>,
+    /// `||π̂_X||`: total number of tuples across classes.
+    total: usize,
+    /// `|r|`: relation size the partition was computed from (needed to
+    /// recover `|π_X| = |π̂_X| + (|r| - ||π̂_X||)` and for error measures).
+    n_rows: usize,
+}
+
+impl StrippedPartition {
+    /// Builds a stripped partition from pre-stripped classes.
+    ///
+    /// Callers must guarantee every class has ≥ 2 tuples and tuple ids are
+    /// unique and `< n_rows`; debug builds assert this.
+    pub fn from_classes(classes: Vec<Vec<u32>>, n_rows: usize) -> Self {
+        debug_assert!(classes.iter().all(|c| c.len() > 1));
+        debug_assert!(classes.iter().flatten().all(|&t| (t as usize) < n_rows));
+        let total = classes.iter().map(Vec::len).sum();
+        StrippedPartition {
+            classes,
+            total,
+            n_rows,
+        }
+    }
+
+    /// Computes `π̂_A` for a single attribute directly from the column codes.
+    pub fn for_attribute(r: &Relation, a: usize) -> Self {
+        Partition::for_attribute(r, a).strip(r.len())
+    }
+
+    /// Computes `π̂_X` for an attribute set.
+    pub fn for_set(r: &Relation, x: AttrSet) -> Self {
+        if x.is_empty() {
+            // π_∅ has a single class containing every tuple.
+            let all: Vec<u32> = (0..r.len() as u32).collect();
+            let classes = if all.len() > 1 { vec![all] } else { Vec::new() };
+            return StrippedPartition::from_classes(classes, r.len());
+        }
+        Partition::for_set(r, x).strip(r.len())
+    }
+
+    /// The stripped classes.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of stripped classes, `|π̂_X|`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `||π̂_X||`: number of tuples covered by stripped classes.
+    #[inline]
+    pub fn total_tuples(&self) -> usize {
+        self.total
+    }
+
+    /// The relation size this partition was derived from.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of classes of the *unstripped* partition `|π_X|`.
+    #[inline]
+    pub fn full_num_classes(&self) -> usize {
+        self.num_classes() + (self.n_rows - self.total)
+    }
+
+    /// TANE's partition error
+    /// `e(X) = (||π̂_X|| - |π̂_X|) / |r|`:
+    /// the fraction of tuples that must be removed for `X` to become a
+    /// superkey. Used by the approximate-FD extension.
+    pub fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.total - self.num_classes()) as f64 / self.n_rows as f64
+    }
+
+    /// `true` iff `π̂_X` is empty, i.e. `X` is a superkey.
+    #[inline]
+    pub fn is_superkey(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The product `π̂_X · π̂_Y = π̂_{X∪Y}` via the linear probe-table
+    /// algorithm (TANE, Fig. 5 of [HKPT98]).
+    ///
+    /// `scratch` must be a reusable buffer of length ≥ `n_rows`, initialized
+    /// to `u32::MAX`; it is restored before returning so callers can share
+    /// one buffer across many products (avoids O(n) clears).
+    pub fn product_with(&self, other: &StrippedPartition, scratch: &mut ProductScratch) -> Self {
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "partitions over different relations"
+        );
+        scratch.ensure(self.n_rows);
+        let probe = &mut scratch.probe;
+        let mut new_classes: Vec<Vec<u32>> = Vec::new();
+        // Step 1: label every tuple of `self` with its class id.
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &t in class {
+                probe[t as usize] = cid as u32;
+            }
+        }
+        // Step 2: within each class of `other`, group tuples by their
+        // `self`-class label; groups of size ≥ 2 are classes of the product.
+        let mut groups: crate::fxhash::FxHashMap<u32, Vec<u32>> =
+            crate::fxhash::FxHashMap::default();
+        for class in &other.classes {
+            groups.clear();
+            for &t in class {
+                let label = probe[t as usize];
+                if label != u32::MAX {
+                    groups.entry(label).or_default().push(t);
+                }
+            }
+            for (_, g) in groups.drain() {
+                if g.len() > 1 {
+                    new_classes.push(g);
+                }
+            }
+        }
+        // Step 3: restore the scratch buffer.
+        for class in &self.classes {
+            for &t in class {
+                probe[t as usize] = u32::MAX;
+            }
+        }
+        // Deterministic ordering regardless of hash iteration order.
+        new_classes.sort_unstable_by_key(|c| c.first().copied());
+        StrippedPartition::from_classes(new_classes, self.n_rows)
+    }
+
+    /// Convenience wrapper allocating a fresh scratch buffer.
+    pub fn product(&self, other: &StrippedPartition) -> Self {
+        let mut scratch = ProductScratch::new(self.n_rows);
+        self.product_with(other, &mut scratch)
+    }
+}
+
+/// Reusable workspace for [`StrippedPartition::product_with`].
+#[derive(Debug)]
+pub struct ProductScratch {
+    probe: Vec<u32>,
+}
+
+impl ProductScratch {
+    /// Creates a scratch buffer for relations of up to `n_rows` tuples.
+    pub fn new(n_rows: usize) -> Self {
+        ProductScratch {
+            probe: vec![u32::MAX; n_rows],
+        }
+    }
+
+    fn ensure(&mut self, n_rows: usize) {
+        if self.probe.len() < n_rows {
+            self.probe.resize(n_rows, u32::MAX);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::schema::Schema;
+
+    /// Normalizes a class list for comparison.
+    fn norm(mut classes: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        classes
+    }
+
+    #[test]
+    fn paper_example_partitions() {
+        // Example 1 of the paper (tuple ids shifted to 0-based):
+        // π_A = {{0,1},{2},{3},{4},{5},{6}}, π_B = {{0,5},{1,6},{2,3},{4}}, …
+        let r = datasets::employee();
+        let pa = Partition::for_attribute(&r, 0);
+        assert_eq!(pa.num_classes(), 6);
+        let pb = Partition::for_attribute(&r, 1);
+        assert_eq!(
+            norm(pb.classes.clone()),
+            vec![vec![0, 5], vec![1, 6], vec![2, 3], vec![4]]
+        );
+        let pe = Partition::for_attribute(&r, 4);
+        assert_eq!(
+            norm(pe.classes.clone()),
+            vec![vec![0, 5], vec![1, 6], vec![2, 3, 4]]
+        );
+    }
+
+    #[test]
+    fn paper_example_stripped_partitions() {
+        // Example 2: π̂_A = {{0,1}}, π̂_B = {{0,5},{1,6},{2,3}},
+        // π̂_C = {{3,4}}, π̂_E = {{0,5},{1,6},{2,3,4}}.
+        let r = datasets::employee();
+        let sa = StrippedPartition::for_attribute(&r, 0);
+        assert_eq!(norm(sa.classes().to_vec()), vec![vec![0, 1]]);
+        let sb = StrippedPartition::for_attribute(&r, 1);
+        assert_eq!(
+            norm(sb.classes().to_vec()),
+            vec![vec![0, 5], vec![1, 6], vec![2, 3]]
+        );
+        let sc = StrippedPartition::for_attribute(&r, 2);
+        assert_eq!(norm(sc.classes().to_vec()), vec![vec![3, 4]]);
+        let se = StrippedPartition::for_attribute(&r, 4);
+        assert_eq!(
+            norm(se.classes().to_vec()),
+            vec![vec![0, 5], vec![1, 6], vec![2, 3, 4]]
+        );
+        assert_eq!(se.total_tuples(), 7);
+        assert_eq!(se.full_num_classes(), 3);
+    }
+
+    #[test]
+    fn product_equals_direct_set_partition() {
+        let r = datasets::employee();
+        for x in 0..r.arity() {
+            for y in 0..r.arity() {
+                let px = StrippedPartition::for_attribute(&r, x);
+                let py = StrippedPartition::for_attribute(&r, y);
+                let prod = px.product(&py);
+                let direct = StrippedPartition::for_set(&r, AttrSet::from_indices([x, y]));
+                assert_eq!(
+                    norm(prod.classes().to_vec()),
+                    norm(direct.classes().to_vec()),
+                    "product mismatch for attrs {x},{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_scratch_is_reusable() {
+        let r = datasets::employee();
+        let mut scratch = ProductScratch::new(r.len());
+        let pb = StrippedPartition::for_attribute(&r, 1);
+        let pe = StrippedPartition::for_attribute(&r, 4);
+        let p1 = pb.product_with(&pe, &mut scratch);
+        let p2 = pb.product_with(&pe, &mut scratch);
+        assert_eq!(p1, p2);
+        // scratch restored: product with a third partition still correct
+        let pc = StrippedPartition::for_attribute(&r, 2);
+        let p3 = p1.product_with(&pc, &mut scratch);
+        let direct = StrippedPartition::for_set(&r, AttrSet::from_indices([1, 2, 4]));
+        assert_eq!(norm(p3.classes().to_vec()), norm(direct.classes().to_vec()));
+    }
+
+    #[test]
+    fn empty_set_partition_is_single_class() {
+        let r = datasets::employee();
+        let p = StrippedPartition::for_set(&r, AttrSet::empty());
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.total_tuples(), r.len());
+    }
+
+    #[test]
+    fn superkey_has_empty_stripped_partition() {
+        let r = datasets::employee();
+        // {empnum, year} is a key of the example relation.
+        let p = StrippedPartition::for_set(&r, AttrSet::from_indices([0, 2]));
+        assert!(p.is_superkey());
+        assert_eq!(p.error(), 0.0);
+    }
+
+    #[test]
+    fn error_measure() {
+        // Column with classes {0,1,2} and {3,4}: e = (5 - 2)/5 = 0.6
+        let schema = Schema::synthetic(1).unwrap();
+        let r = crate::relation::Relation::from_columns(schema, vec![vec![7, 7, 7, 9, 9]]).unwrap();
+        let p = StrippedPartition::for_attribute(&r, 0);
+        assert!((p.error() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_with_superkey_is_superkey() {
+        let r = datasets::employee();
+        let key = StrippedPartition::for_set(&r, AttrSet::from_indices([0, 2]));
+        let pb = StrippedPartition::for_attribute(&r, 1);
+        assert!(key.product(&pb).is_superkey());
+        assert!(pb.product(&key).is_superkey());
+    }
+
+    #[test]
+    fn single_tuple_relation_has_no_stripped_classes() {
+        let schema = Schema::synthetic(1).unwrap();
+        let r = crate::relation::Relation::from_columns(schema, vec![vec![1]]).unwrap();
+        let p = StrippedPartition::for_set(&r, AttrSet::empty());
+        assert!(p.is_superkey());
+    }
+}

@@ -1,0 +1,218 @@
+//! Relation schemas: named, ordered attribute lists.
+
+use crate::attrset::{AttrSet, MAX_ATTRS};
+use crate::error::RelationError;
+use std::fmt;
+use std::sync::Arc;
+
+/// An ordered list of attribute names; the relation schema `R` of the paper.
+///
+/// Schemas are cheap to clone (`Arc` internally) and are shared between a
+/// relation, its partitions, and every artifact derived from it, so that
+/// attribute indices always mean the same thing.
+///
+/// # Examples
+///
+/// ```
+/// use depminer_relation::Schema;
+///
+/// let schema = Schema::new(["empnum", "depnum", "year"]).unwrap();
+/// assert_eq!(schema.arity(), 3);
+/// assert_eq!(schema.index_of("depnum"), Some(1));
+/// assert_eq!(schema.name(2), "year");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Arc<Vec<String>>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::SchemaTooWide`] when more than
+    /// [`MAX_ATTRS`] names are given, [`RelationError::DuplicateAttribute`]
+    /// on repeated names, and [`RelationError::EmptySchema`] for zero names.
+    pub fn new<I, S>(names: I) -> Result<Self, RelationError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        if names.len() > MAX_ATTRS {
+            return Err(RelationError::SchemaTooWide { width: names.len() });
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(RelationError::DuplicateAttribute { name: n.clone() });
+            }
+        }
+        Ok(Schema {
+            names: Arc::new(names),
+        })
+    }
+
+    /// A schema with `n` synthetic attribute names.
+    ///
+    /// Names are single letters `A..Z` when `n <= 26`, otherwise `a0, a1, …`.
+    pub fn synthetic(n: usize) -> Result<Self, RelationError> {
+        if n <= 26 {
+            Schema::new((0..n).map(|i| ((b'A' + i as u8) as char).to_string()))
+        } else {
+            Schema::new((0..n).map(|i| format!("a{i}")))
+        }
+    }
+
+    /// Number of attributes (`|R|`).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The full attribute set `R`.
+    #[inline]
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity())
+    }
+
+    /// Attribute name at index `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= arity()`.
+    #[inline]
+    pub fn name(&self, a: usize) -> &str {
+        &self.names[a]
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of the attribute called `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownAttribute`] if any name is not in the
+    /// schema.
+    pub fn attr_set<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        names: I,
+    ) -> Result<AttrSet, RelationError> {
+        let mut s = AttrSet::empty();
+        for name in names {
+            let idx = self
+                .index_of(name)
+                .ok_or_else(|| RelationError::UnknownAttribute {
+                    name: name.to_string(),
+                })?;
+            s.insert(idx);
+        }
+        Ok(s)
+    }
+
+    /// Formats an attribute set using this schema's names, e.g.
+    /// `{depnum, mgr}`.
+    pub fn format_set(&self, set: AttrSet) -> String {
+        if set.is_empty() {
+            return "∅".to_string();
+        }
+        let mut out = String::from("{");
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.name(a));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({})", self.names.join(", "))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let s = Schema::new(["a", "b", "c"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(0), "a");
+        assert_eq!(s.index_of("c"), Some(2));
+        assert_eq!(s.index_of("zz"), None);
+        assert_eq!(s.all_attrs(), AttrSet::full(3));
+    }
+
+    #[test]
+    fn rejects_empty_duplicate_and_wide() {
+        assert!(matches!(
+            Schema::new(Vec::<String>::new()),
+            Err(RelationError::EmptySchema)
+        ));
+        assert!(matches!(
+            Schema::new(["x", "y", "x"]),
+            Err(RelationError::DuplicateAttribute { .. })
+        ));
+        let too_many: Vec<String> = (0..200).map(|i| format!("a{i}")).collect();
+        assert!(matches!(
+            Schema::new(too_many),
+            Err(RelationError::SchemaTooWide { width: 200 })
+        ));
+    }
+
+    #[test]
+    fn synthetic_names() {
+        let s = Schema::synthetic(4).unwrap();
+        assert_eq!(s.names(), &["A", "B", "C", "D"]);
+        let wide = Schema::synthetic(30).unwrap();
+        assert_eq!(wide.name(29), "a29");
+    }
+
+    #[test]
+    fn attr_set_by_name() {
+        let s = Schema::new(["x", "y", "z"]).unwrap();
+        let set = s.attr_set(["z", "x"]).unwrap();
+        assert_eq!(set, AttrSet::from_indices([0, 2]));
+        assert!(matches!(
+            s.attr_set(["nope"]),
+            Err(RelationError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn format_set_uses_names() {
+        let s = Schema::new(["empnum", "depnum", "mgr"]).unwrap();
+        assert_eq!(s.format_set(AttrSet::from_indices([1, 2])), "{depnum, mgr}");
+        assert_eq!(s.format_set(AttrSet::empty()), "∅");
+    }
+
+    #[test]
+    fn clones_share_names() {
+        let s = Schema::new(["a", "b"]).unwrap();
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert!(Arc::ptr_eq(&s.names, &t.names));
+    }
+}

@@ -1,0 +1,309 @@
+//! Stripped partition databases (§3.1).
+//!
+//! The stripped partition database `r̂ = ⋃_{A∈R} π̂_A` is the *only* view of
+//! the data Dep-Miner needs after pre-processing: "database accesses are only
+//! performed during the computation of agree sets" and the paper shows `r̂`
+//! is informationally equivalent to `r` for FD discovery.
+
+use crate::attrset::AttrSet;
+use crate::partition::StrippedPartition;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// The stripped partition database `r̂` of a relation: one stripped
+/// partition per attribute, plus the schema and relation size.
+#[derive(Debug, Clone)]
+pub struct StrippedPartitionDb {
+    schema: Schema,
+    partitions: Vec<StrippedPartition>,
+    n_rows: usize,
+}
+
+impl StrippedPartitionDb {
+    /// Extracts `r̂` from a relation (the pre-processing phase).
+    pub fn from_relation(r: &Relation) -> Self {
+        let partitions = (0..r.arity())
+            .map(|a| StrippedPartition::for_attribute(r, a))
+            .collect();
+        StrippedPartitionDb {
+            schema: r.schema().clone(),
+            partitions,
+            n_rows: r.len(),
+        }
+    }
+
+    /// Builds a database from pre-computed stripped partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of partitions differs from the schema arity or
+    /// any partition's `n_rows` disagrees with `n_rows`.
+    pub fn from_parts(schema: Schema, partitions: Vec<StrippedPartition>, n_rows: usize) -> Self {
+        assert_eq!(partitions.len(), schema.arity());
+        assert!(partitions.iter().all(|p| p.n_rows() == n_rows));
+        StrippedPartitionDb {
+            schema,
+            partitions,
+            n_rows,
+        }
+    }
+
+    /// The schema `R`.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples in the underlying relation.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The stripped partition `π̂_A`.
+    #[inline]
+    pub fn partition(&self, a: usize) -> &StrippedPartition {
+        &self.partitions[a]
+    }
+
+    /// All per-attribute stripped partitions in schema order.
+    #[inline]
+    pub fn partitions(&self) -> &[StrippedPartition] {
+        &self.partitions
+    }
+
+    /// The set `MC` of maximal (w.r.t. ⊆) equivalence classes across all
+    /// per-attribute stripped partitions (§3.1):
+    /// `MC = Max⊆ {c ∈ π̂_A | π̂_A ∈ r̂}`.
+    ///
+    /// Agree-set computation only needs tuple couples drawn from classes in
+    /// `MC` (Lemma 1): tuples in different maximal classes disagree on every
+    /// attribute.
+    ///
+    /// Implementation: classes are deduplicated exactly (hash pass — very
+    /// common: e.g. the paper's π̂_B and π̂_D coincide), then sorted by
+    /// descending size; a class is kept iff no already-kept class contains
+    /// it. Because a tuple belongs to at most `|R|` stripped classes, each
+    /// tuple carries a short sorted list of kept class ids, and domination
+    /// is the intersection of their members' lists — O(|c| · |R|) per class.
+    pub fn maximal_classes(&self) -> Vec<Vec<u32>> {
+        use crate::fxhash::FxHashSet;
+        // Deduplicate identical classes first.
+        let mut uniq: FxHashSet<&[u32]> = FxHashSet::default();
+        let mut classes: Vec<&Vec<u32>> = Vec::new();
+        for p in &self.partitions {
+            for c in p.classes() {
+                if uniq.insert(c.as_slice()) {
+                    classes.push(c);
+                }
+            }
+        }
+        classes.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+        let mut kept: Vec<Vec<u32>> = Vec::new();
+        // kept_ids[t]: ids (ascending) of kept classes containing tuple t;
+        // at most |R| entries per tuple.
+        let mut kept_ids: Vec<Vec<u32>> = vec![Vec::new(); self.n_rows];
+        let mut acc: Vec<u32> = Vec::new();
+        let mut tmp: Vec<u32> = Vec::new();
+        for class in classes {
+            // Intersect the kept-class id lists of all members; a non-empty
+            // result means some kept class contains the whole class.
+            acc.clear();
+            acc.extend_from_slice(&kept_ids[class[0] as usize]);
+            for &t in &class[1..] {
+                if acc.is_empty() {
+                    break;
+                }
+                let other = &kept_ids[t as usize];
+                tmp.clear();
+                let (mut i, mut j) = (0, 0);
+                while i < acc.len() && j < other.len() {
+                    match acc[i].cmp(&other[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            tmp.push(acc[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            if acc.is_empty() {
+                let id = kept.len() as u32;
+                for &t in class {
+                    // ids are assigned in increasing order, so pushing keeps
+                    // each list sorted.
+                    kept_ids[t as usize].push(id);
+                }
+                kept.push(class.clone());
+            }
+        }
+        // Deterministic output order.
+        kept.sort_unstable_by_key(|c| c.first().copied());
+        kept
+    }
+
+    /// The identifier sets `ec(t)` of §3.1 ("another characterization"):
+    /// for each tuple `t`, the list of `(attribute, class-index)` pairs of
+    /// the stripped classes containing `t`.
+    ///
+    /// Returned as one vector per tuple, each sorted by `(attr, class)` so
+    /// that `ec(ti) ∩ ec(tj)` is a linear merge (Lemma 2).
+    pub fn equivalence_class_ids(&self) -> Vec<Vec<(u16, u32)>> {
+        let mut ec: Vec<Vec<(u16, u32)>> = vec![Vec::new(); self.n_rows];
+        for (a, p) in self.partitions.iter().enumerate() {
+            for (i, class) in p.classes().iter().enumerate() {
+                for &t in class {
+                    ec[t as usize].push((a as u16, i as u32));
+                }
+            }
+        }
+        // Built in ascending (attr, class) order already, but make it a
+        // guarantee rather than an accident of iteration order.
+        for v in &mut ec {
+            debug_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+        ec
+    }
+
+    /// The full attribute set `R` as an [`AttrSet`].
+    #[inline]
+    pub fn all_attrs(&self) -> AttrSet {
+        self.schema.all_attrs()
+    }
+
+    /// Attributes whose column is constant across the relation
+    /// (equivalently: `∅ → A` holds). With fewer than two tuples every
+    /// attribute is vacuously constant.
+    pub fn constant_attrs(&self) -> AttrSet {
+        if self.n_rows < 2 {
+            return self.all_attrs();
+        }
+        let mut s = AttrSet::empty();
+        for (a, p) in self.partitions.iter().enumerate() {
+            if p.num_classes() == 1 && p.total_tuples() == self.n_rows {
+                s.insert(a);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn norm(mut classes: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        classes
+    }
+
+    #[test]
+    fn paper_example_mc() {
+        // Example 4: MC = {{0,1},{0,5},{1,6},{2,3,4}} (0-based ids).
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let mc = db.maximal_classes();
+        assert_eq!(
+            norm(mc),
+            vec![vec![0, 1], vec![0, 5], vec![1, 6], vec![2, 3, 4]]
+        );
+    }
+
+    #[test]
+    fn paper_example_ec() {
+        // Example 6/8: ec(t2) = {(A,0),(B,1),(D,1),(E,1)} — 0-based tuple 1.
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ec = db.equivalence_class_ids();
+        // Attribute indices: A=0,B=1,C=2,D=3,E=4.
+        assert_eq!(ec[1], vec![(0, 0), (1, 1), (3, 1), (4, 1)]);
+        // Example 8 row for tuple 5 (paper's tuple 6): (B,0)(D,0)(E,0).
+        assert_eq!(ec[5], vec![(1, 0), (3, 0), (4, 0)]);
+        // Tuple 4 (paper's 5): (C,0)(E,2).
+        assert_eq!(ec[4], vec![(2, 0), (4, 2)]);
+    }
+
+    #[test]
+    fn mc_covers_every_stripped_class() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let mc = db.maximal_classes();
+        for p in db.partitions() {
+            for c in p.classes() {
+                assert!(
+                    mc.iter().any(|m| c.iter().all(|t| m.contains(t))),
+                    "class {c:?} not covered by MC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mc_elements_are_incomparable() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let mc = db.maximal_classes();
+        for (i, a) in mc.iter().enumerate() {
+            for (j, b) in mc.iter().enumerate() {
+                if i != j {
+                    assert!(!a.iter().all(|t| b.contains(t)), "MC class {a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_checks_shape() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let rebuilt = StrippedPartitionDb::from_parts(
+            db.schema().clone(),
+            db.partitions().to_vec(),
+            db.n_rows(),
+        );
+        assert_eq!(rebuilt.arity(), 5);
+        assert_eq!(rebuilt.n_rows(), 7);
+    }
+
+    #[test]
+    fn constant_attrs_detection() {
+        let r = crate::datasets::constant_columns();
+        let db = StrippedPartitionDb::from_relation(&r);
+        assert_eq!(db.constant_attrs(), crate::AttrSet::from_indices([1, 2]));
+        // Single-tuple relation: everything is constant.
+        let one = crate::relation::Relation::from_columns(
+            crate::schema::Schema::synthetic(2).unwrap(),
+            vec![vec![1], vec![2]],
+        )
+        .unwrap();
+        let db1 = StrippedPartitionDb::from_relation(&one);
+        assert_eq!(db1.constant_attrs(), crate::AttrSet::full(2));
+    }
+
+    #[test]
+    fn ec_is_consistent_with_partitions() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ec = db.equivalence_class_ids();
+        for (t, ids) in ec.iter().enumerate() {
+            for &(a, i) in ids {
+                let class = &db.partition(a as usize).classes()[i as usize];
+                assert!(class.contains(&(t as u32)));
+            }
+        }
+    }
+}

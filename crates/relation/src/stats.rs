@@ -1,0 +1,174 @@
+//! Column statistics: the profiling summary a dba reads before mining.
+//!
+//! Distinct counts drive the real-world-Armstrong existence condition
+//! (Proposition 1) and predict mining cost (§5: the correlation parameter
+//! `c` is exactly a distinct-count control). Entropy and top values help
+//! decide which discovered FDs are semantic and which are accidents of a
+//! skewed column.
+
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct values, `|π_A(r)|`.
+    pub distinct: usize,
+    /// Number of NULL cells.
+    pub nulls: usize,
+    /// Shannon entropy of the value distribution, in bits.
+    pub entropy: f64,
+    /// The most frequent value and its count (`None` for empty relations).
+    pub top: Option<(Value, usize)>,
+    /// `true` when the column is a key on its own (all values distinct).
+    pub is_unique: bool,
+    /// `true` when the column holds a single value.
+    pub is_constant: bool,
+}
+
+/// Computes [`ColumnStats`] for every column of `r`.
+pub fn column_stats(r: &Relation) -> Vec<ColumnStats> {
+    let n_rows = r.len();
+    (0..r.arity())
+        .map(|a| {
+            let col = r.column(a);
+            let mut counts = vec![0usize; col.distinct_count()];
+            for &code in col.codes() {
+                counts[code as usize] += 1;
+            }
+            let nulls = col
+                .distinct_values()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_null())
+                .map(|(c, _)| counts[c])
+                .sum();
+            let entropy = if n_rows == 0 {
+                0.0
+            } else {
+                counts
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / n_rows as f64;
+                        -p * p.log2()
+                    })
+                    .sum()
+            };
+            let top = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(code, &c)| (col.distinct_values()[code].clone(), c));
+            ColumnStats {
+                name: r.schema().name(a).to_string(),
+                distinct: col.distinct_count(),
+                nulls,
+                entropy,
+                top,
+                is_unique: n_rows > 0 && col.distinct_count() == n_rows,
+                is_constant: n_rows > 0 && col.distinct_count() == 1,
+            }
+        })
+        .collect()
+}
+
+/// Renders the statistics as an aligned text table.
+pub fn render_stats(stats: &[ColumnStats], n_rows: usize) -> String {
+    let mut out = format!("{n_rows} tuples\n");
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>7} {:>9}  {:<8} {}\n",
+        "column", "distinct", "nulls", "entropy", "flags", "top value (count)"
+    ));
+    for s in stats {
+        let mut flags = String::new();
+        if s.is_unique {
+            flags.push('U');
+        }
+        if s.is_constant {
+            flags.push('C');
+        }
+        let top = s
+            .top
+            .as_ref()
+            .map(|(v, c)| format!("{v} ({c})"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>7} {:>9.3}  {:<8} {}\n",
+            s.name, s.distinct, s.nulls, s.entropy, flags, top
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::schema::Schema;
+
+    #[test]
+    fn employee_stats() {
+        let r = datasets::employee();
+        let stats = column_stats(&r);
+        assert_eq!(stats.len(), 5);
+        // empnum: 6 distinct over 7 rows; depnum: 4; depname: 4.
+        assert_eq!(stats[0].distinct, 6);
+        assert_eq!(stats[1].distinct, 4);
+        assert_eq!(stats[3].distinct, 4);
+        assert!(!stats[0].is_unique);
+        assert!(!stats[0].is_constant);
+        assert_eq!(stats[0].nulls, 0);
+        // empnum's top value is 1 (appears twice).
+        assert_eq!(stats[0].top, Some((Value::Int(1), 2)));
+    }
+
+    #[test]
+    fn entropy_bounds_and_extremes() {
+        // Constant column: entropy 0. Uniform n-valued: log2(n).
+        let r = Relation::from_columns(
+            Schema::synthetic(2).unwrap(),
+            vec![vec![5, 5, 5, 5], vec![0, 1, 2, 3]],
+        )
+        .unwrap();
+        let stats = column_stats(&r);
+        assert_eq!(stats[0].entropy, 0.0);
+        assert!(stats[0].is_constant);
+        assert!((stats[1].entropy - 2.0).abs() < 1e-12);
+        assert!(stats[1].is_unique);
+    }
+
+    use crate::relation::Relation;
+
+    #[test]
+    fn null_counting() {
+        let csv = "a,b\n1,\n,\n2,x\n";
+        let r = crate::csv::read_csv(csv.as_bytes()).unwrap();
+        let stats = column_stats(&r);
+        assert_eq!(stats[0].nulls, 1);
+        assert_eq!(stats[1].nulls, 2);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let r = Relation::from_columns(Schema::synthetic(1).unwrap(), vec![vec![]]).unwrap();
+        let stats = column_stats(&r);
+        assert_eq!(stats[0].distinct, 0);
+        assert_eq!(stats[0].entropy, 0.0);
+        assert_eq!(stats[0].top, None);
+        assert!(!stats[0].is_unique);
+        assert!(!stats[0].is_constant);
+    }
+
+    #[test]
+    fn render_contains_flags() {
+        let r = datasets::constant_columns();
+        let stats = column_stats(&r);
+        let text = render_stats(&stats, r.len());
+        assert!(text.contains("4 tuples"));
+        assert!(text.contains('U')); // id column is unique
+        assert!(text.contains('C')); // k1/k2 constant
+    }
+}

@@ -1,0 +1,566 @@
+//! Approximate functional dependencies (TANE §5, [HKPT98]).
+//!
+//! An FD `X → A` holds *approximately* with error `g₃(X → A) ≤ ε`, where
+//! `g₃` is the minimum fraction of tuples whose removal makes the FD exact:
+//!
+//! ```text
+//! g₃(X → A) = 1 − max{ |s| : s ⊆ r, s ⊨ X → A } / |r|
+//!           = Σ_{c ∈ π_X} (|c| − max overlap of c with a class of π_{X∪A}) / |r|
+//! ```
+//!
+//! `g₃` is anti-monotone in the lhs (`X ⊆ Y ⇒ g₃(Y → A) ≤ g₃(X → A)`), so
+//! minimal approximate FDs are discoverable levelwise with subset pruning —
+//! the structure of TANE with the error-based validity test. This module
+//! implements that discovery plus the error measure itself; a brute-force
+//! oracle cross-checks both in tests.
+
+use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_relation::{
+    AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, StrippedPartition, StrippedPartitionDb,
+};
+
+/// Computes `g₃(X → A)` from the stripped partitions of `X` and `X ∪ {A}`.
+///
+/// `labels` is reusable scratch of length ≥ `n_rows`, reset internally.
+pub fn g3_error(
+    px: &StrippedPartition,
+    pxa: &StrippedPartition,
+    n_rows: usize,
+    labels: &mut Vec<u32>,
+) -> f64 {
+    if n_rows == 0 {
+        return 0.0;
+    }
+    if labels.len() < n_rows {
+        labels.resize(n_rows, u32::MAX);
+    }
+    // Label tuples with their class id in π̂_{X∪A}; singletons keep MAX.
+    for (cid, class) in pxa.classes().iter().enumerate() {
+        for &t in class {
+            labels[t as usize] = cid as u32;
+        }
+    }
+    let mut removed = 0usize;
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+    for class in px.classes() {
+        counts.clear();
+        let mut best = 1usize; // a singleton-in-XA tuple keeps itself
+        for &t in class {
+            let l = labels[t as usize];
+            if l != u32::MAX {
+                let c = counts.entry(l).or_insert(0);
+                *c += 1;
+                best = best.max(*c);
+            }
+        }
+        removed += class.len() - best;
+    }
+    // Reset scratch for the next call.
+    for class in pxa.classes() {
+        for &t in class {
+            labels[t as usize] = u32::MAX;
+        }
+    }
+    removed as f64 / n_rows as f64
+}
+
+/// Convenience: `g₃(X → A)` straight from a relation.
+pub fn g3_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
+    let px = StrippedPartition::for_set(r, lhs);
+    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let mut labels = vec![u32::MAX; r.len()];
+    g3_error(&px, &pxa, r.len(), &mut labels)
+}
+
+/// The `g₁` error of Kivinen & Mannila: the fraction of *ordered* tuple
+/// pairs violating `X → A`,
+/// `g₁ = |{(t,u) : t[X]=u[X] ∧ t[A]≠u[A]}| / |r|²`.
+///
+/// Computed from partitions: within each class `c` of `π_X`, the violating
+/// unordered pairs are `C(|c|,2) − Σ_g C(|g|,2)` over the `π_{X∪A}`-groups
+/// `g` refining `c`; ordered pairs double that.
+pub fn g1_error(
+    px: &StrippedPartition,
+    pxa: &StrippedPartition,
+    n_rows: usize,
+    labels: &mut Vec<u32>,
+) -> f64 {
+    if n_rows == 0 {
+        return 0.0;
+    }
+    if labels.len() < n_rows {
+        labels.resize(n_rows, u32::MAX);
+    }
+    for (cid, class) in pxa.classes().iter().enumerate() {
+        for &t in class {
+            labels[t as usize] = cid as u32;
+        }
+    }
+    let choose2 = |n: usize| n * n.saturating_sub(1) / 2;
+    let mut violating_pairs = 0usize;
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+    for class in px.classes() {
+        counts.clear();
+        for &t in class {
+            let l = labels[t as usize];
+            if l != u32::MAX {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        let agreeing: usize = counts.values().map(|&g| choose2(g)).sum();
+        violating_pairs += choose2(class.len()) - agreeing;
+    }
+    for class in pxa.classes() {
+        for &t in class {
+            labels[t as usize] = u32::MAX;
+        }
+    }
+    (2 * violating_pairs) as f64 / (n_rows * n_rows) as f64
+}
+
+/// The `g₂` error of Kivinen & Mannila: the fraction of tuples involved in
+/// at least one violation of `X → A`,
+/// `g₂ = |{t : ∃u, t[X]=u[X] ∧ t[A]≠u[A]}| / |r|`.
+///
+/// A class of `π_X` that splits into ≥ 2 `π_{X∪A}`-groups makes *every* of
+/// its tuples a violator (each has a witness in another group).
+pub fn g2_error(
+    px: &StrippedPartition,
+    pxa: &StrippedPartition,
+    n_rows: usize,
+    labels: &mut Vec<u32>,
+) -> f64 {
+    if n_rows == 0 {
+        return 0.0;
+    }
+    if labels.len() < n_rows {
+        labels.resize(n_rows, u32::MAX);
+    }
+    for (cid, class) in pxa.classes().iter().enumerate() {
+        for &t in class {
+            labels[t as usize] = cid as u32;
+        }
+    }
+    let mut violators = 0usize;
+    for class in px.classes() {
+        // The class is homogeneous iff all tuples share one non-MAX label
+        // (a MAX label is a singleton group, so any MAX tuple in a class of
+        // size ≥ 2 splits it).
+        let first = labels[class[0] as usize];
+        let homogeneous = first != u32::MAX && class.iter().all(|&t| labels[t as usize] == first);
+        if !homogeneous {
+            violators += class.len();
+        }
+    }
+    for class in pxa.classes() {
+        for &t in class {
+            labels[t as usize] = u32::MAX;
+        }
+    }
+    violators as f64 / n_rows as f64
+}
+
+/// Convenience: `g₁` straight from a relation.
+pub fn g1_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
+    let px = StrippedPartition::for_set(r, lhs);
+    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let mut labels = vec![u32::MAX; r.len()];
+    g1_error(&px, &pxa, r.len(), &mut labels)
+}
+
+/// Convenience: `g₂` straight from a relation.
+pub fn g2_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
+    let px = StrippedPartition::for_set(r, lhs);
+    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let mut labels = vec![u32::MAX; r.len()];
+    g2_error(&px, &pxa, r.len(), &mut labels)
+}
+
+/// A discovered approximate FD with its error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxFd {
+    /// The dependency.
+    pub fd: Fd,
+    /// Its `g₃` error (≤ the discovery threshold).
+    pub error: f64,
+}
+
+/// Discovers all minimal approximate FDs with `g₃ ≤ epsilon`.
+///
+/// Minimality is with respect to the *approximate* validity: `X → A` is
+/// reported iff `g₃(X → A) ≤ ε` and `g₃(X' → A) > ε` for every `X' ⊂ X`.
+/// With `epsilon = 0` this coincides with exact minimal-FD discovery.
+///
+/// Levelwise search with per-rhs subset pruning (sound by anti-monotonicity
+/// of `g₃`); partitions are built by pairwise products as in TANE.
+pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let db = StrippedPartitionDb::from_relation(r);
+    let n = db.arity();
+    let n_rows = db.n_rows();
+    let mut out: Vec<ApproxFd> = Vec::new();
+    let mut labels = vec![u32::MAX; n_rows];
+    let mut scratch = ProductScratch::new(n_rows);
+
+    // found[a]: minimal approximate lhs discovered so far for rhs a.
+    let mut found: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
+
+    // The empty-lhs partition (single class).
+    let p_empty = StrippedPartition::for_set(r, AttrSet::empty());
+
+    // ∅ → A first.
+    for (a, found_a) in found.iter_mut().enumerate() {
+        let e = g3_error(&p_empty, db.partition(a), n_rows, &mut labels);
+        if e <= epsilon {
+            out.push(ApproxFd {
+                fd: Fd::new(AttrSet::empty(), a),
+                error: e,
+            });
+            found_a.push(AttrSet::empty());
+        }
+    }
+
+    // Levelwise over lhs sets.
+    let mut level: Vec<AttrSet> = (0..n).map(AttrSet::singleton).collect();
+    let mut parts: FxHashMap<AttrSet, StrippedPartition> = (0..n)
+        .map(|a| (AttrSet::singleton(a), db.partition(a).clone()))
+        .collect();
+    while !level.is_empty() {
+        // Test each candidate lhs against every rhs not yet covered.
+        for &x in &level {
+            let px = &parts[&x];
+            for (a, found_a) in found.iter_mut().enumerate() {
+                if x.contains(a) {
+                    continue;
+                }
+                if found_a.iter().any(|f| f.is_subset_of(x)) {
+                    continue; // a subset already valid ⇒ x not minimal
+                }
+                let pxa = px.product_with(db.partition(a), &mut scratch);
+                let e = g3_error(px, &pxa, n_rows, &mut labels);
+                if e <= epsilon {
+                    out.push(ApproxFd {
+                        fd: Fd::new(x, a),
+                        error: e,
+                    });
+                    found_a.push(x);
+                }
+            }
+        }
+        // Generate next level: extend sets that can still yield a minimal
+        // FD for some rhs (i.e. some rhs has no valid subset within x).
+        let extendable: Vec<AttrSet> = level
+            .iter()
+            .copied()
+            .filter(|&x| {
+                (0..n).any(|a| !x.contains(a) && !found[a].iter().any(|f| f.is_subset_of(x)))
+            })
+            .collect();
+        let mut next_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
+        let mut next: Vec<AttrSet> = Vec::new();
+        let present: FxHashSet<AttrSet> = level.iter().copied().collect();
+        let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
+        for &x in &extendable {
+            let m = x.max_attr().expect("non-empty");
+            by_prefix.entry(x.without(m)).or_default().push(x);
+        }
+        for (_, group) in by_prefix {
+            for (i, &x) in group.iter().enumerate() {
+                for &y in &group[i + 1..] {
+                    let z = x.union(y);
+                    if z.drop_one().all(|w| present.contains(&w)) && !next_parts.contains_key(&z) {
+                        let p = parts[&x].product_with(&parts[&y], &mut scratch);
+                        next_parts.insert(z, p);
+                        next.push(z);
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        parts = next_parts;
+        level = next;
+    }
+
+    out.sort_by_key(|afd| (afd.fd.rhs, afd.fd.lhs));
+    out
+}
+
+/// Brute-force oracle for [`approximate_fds`]; exponential, test-only sizes.
+pub fn approximate_fds_brute(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
+    let n = r.arity();
+    let mut out = Vec::new();
+    for a in 0..n {
+        let mut minimal: Vec<AttrSet> = Vec::new();
+        let mut level: Vec<AttrSet> = vec![AttrSet::empty()];
+        while !level.is_empty() {
+            let mut next = Vec::new();
+            for &x in &level {
+                if minimal.iter().any(|m| m.is_subset_of(x)) {
+                    continue;
+                }
+                let e = g3_error_of(r, x, a);
+                if e <= epsilon {
+                    minimal.push(x);
+                    out.push(ApproxFd {
+                        fd: Fd::new(x, a),
+                        error: e,
+                    });
+                } else {
+                    let start = x.max_attr().map_or(0, |m| m + 1);
+                    for b in start..n {
+                        if b != a {
+                            next.push(x.with(b));
+                        }
+                    }
+                }
+            }
+            level = next;
+        }
+    }
+    out.sort_by_key(|afd| (afd.fd.rhs, afd.fd.lhs));
+    out
+}
+
+/// Exact minimal FDs as a special case: `approximate_fds` at `ε = 0`,
+/// returned as plain [`Fd`]s. Used by tests to tie the approximate engine
+/// back to the exact miners.
+pub fn exact_via_approx(r: &Relation) -> Vec<Fd> {
+    let mut fds: Vec<Fd> = approximate_fds(r, 0.0)
+        .into_iter()
+        .map(|afd| afd.fd)
+        .collect();
+    normalize_fds(&mut fds);
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depminer_fdtheory::mine_minimal_fds;
+    use depminer_relation::datasets;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn g3_zero_iff_fd_holds() {
+        let r = datasets::employee();
+        for a in 0..r.arity() {
+            for bits in 0u32..32 {
+                let x = AttrSet::from_bits(bits as u128);
+                if x.contains(a) {
+                    continue;
+                }
+                let e = g3_error_of(&r, x, a);
+                assert_eq!(
+                    e == 0.0,
+                    r.satisfies(x, a),
+                    "g3 = {e} inconsistent with satisfies for {x} -> {a}"
+                );
+                assert!((0.0..=1.0).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn g3_known_value() {
+        // A = [0,0,0,1], B = [1,2,2,3]: A→B needs removing 1 of the first
+        // three tuples? π_A = {{0,1,2},{3}}; class {0,1,2} splits in
+        // π_AB as {0},{1,2} ⇒ remove 1 tuple. g3 = 1/4.
+        let r = depminer_relation::Relation::from_columns(
+            depminer_relation::Schema::synthetic(2).unwrap(),
+            vec![vec![0, 0, 0, 1], vec![1, 2, 2, 3]],
+        )
+        .unwrap();
+        assert!((g3_error_of(&r, s(&[0]), 1) - 0.25).abs() < 1e-12);
+        // B→A holds exactly.
+        assert_eq!(g3_error_of(&r, s(&[1]), 0), 0.0);
+    }
+
+    /// Brute-force g1: count violating ordered pairs by definition.
+    fn g1_brute(r: &depminer_relation::Relation, x: AttrSet, a: usize) -> f64 {
+        if r.is_empty() {
+            return 0.0;
+        }
+        let mut v = 0usize;
+        for i in 0..r.len() {
+            for j in 0..r.len() {
+                if i != j && r.tuples_agree(i, j, x) && !r.tuples_agree(i, j, AttrSet::singleton(a))
+                {
+                    v += 1;
+                }
+            }
+        }
+        v as f64 / (r.len() * r.len()) as f64
+    }
+
+    /// Brute-force g2: count violating tuples by definition.
+    fn g2_brute(r: &depminer_relation::Relation, x: AttrSet, a: usize) -> f64 {
+        if r.is_empty() {
+            return 0.0;
+        }
+        let mut v = 0usize;
+        for i in 0..r.len() {
+            let violates = (0..r.len()).any(|j| {
+                i != j && r.tuples_agree(i, j, x) && !r.tuples_agree(i, j, AttrSet::singleton(a))
+            });
+            if violates {
+                v += 1;
+            }
+        }
+        v as f64 / r.len() as f64
+    }
+
+    #[test]
+    fn g1_g2_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(88);
+        for _ in 0..20 {
+            let n_attrs = rng.gen_range(2..=4);
+            let n_rows = rng.gen_range(1..=10);
+            let cols: Vec<Vec<u32>> = (0..n_attrs)
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3)).collect())
+                .collect();
+            let r = depminer_relation::Relation::from_columns(
+                depminer_relation::Schema::synthetic(n_attrs).unwrap(),
+                cols,
+            )
+            .unwrap();
+            for a in 0..n_attrs {
+                for bits in 0u32..(1 << n_attrs) {
+                    let x = AttrSet::from_bits(bits as u128);
+                    if x.contains(a) {
+                        continue;
+                    }
+                    assert!(
+                        (g1_error_of(&r, x, a) - g1_brute(&r, x, a)).abs() < 1e-12,
+                        "g1 mismatch for {x} -> {a} on {r:?}"
+                    );
+                    assert!(
+                        (g2_error_of(&r, x, a) - g2_brute(&r, x, a)).abs() < 1e-12,
+                        "g2 mismatch for {x} -> {a} on {r:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_inequalities() {
+        // Kivinen & Mannila: g3 ≤ g2 ≤ 2·g3 and g1 ≤ g2 (pairs imply
+        // involved tuples), and all vanish together.
+        let r = datasets::enrollment();
+        for a in 0..r.arity() {
+            for bits in 0u32..32 {
+                let x = AttrSet::from_bits(bits as u128);
+                if x.contains(a) {
+                    continue;
+                }
+                let g1 = g1_error_of(&r, x, a);
+                let g2 = g2_error_of(&r, x, a);
+                let g3 = g3_error_of(&r, x, a);
+                assert!(g3 <= g2 + 1e-12, "g3 > g2 for {x} -> {a}");
+                assert!(g2 <= 2.0 * g3 + 1e-12, "g2 > 2 g3 for {x} -> {a}");
+                assert!(g1 <= g2 + 1e-12, "g1 > g2 for {x} -> {a}");
+                assert_eq!(g1 == 0.0, g2 == 0.0);
+                assert_eq!(g2 == 0.0, g3 == 0.0);
+                assert_eq!(g3 == 0.0, r.satisfies(x, a));
+            }
+        }
+    }
+
+    #[test]
+    fn g3_is_antimonotone() {
+        let r = datasets::enrollment();
+        for a in 0..r.arity() {
+            for bits in 0u32..32 {
+                let x = AttrSet::from_bits(bits as u128);
+                if x.contains(a) {
+                    continue;
+                }
+                let ex = g3_error_of(&r, x, a);
+                for b in 0..r.arity() {
+                    if b != a && !x.contains(b) {
+                        assert!(
+                            g3_error_of(&r, x.with(b), a) <= ex + 1e-12,
+                            "g3 not anti-monotone"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_equals_exact_mining() {
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::constant_columns(),
+            datasets::no_fds(),
+        ] {
+            assert_eq!(exact_via_approx(&r), mine_minimal_fds(&r));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_relations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let n_attrs = rng.gen_range(2..=4);
+            let n_rows = rng.gen_range(2..=10);
+            let cols: Vec<Vec<u32>> = (0..n_attrs)
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3)).collect())
+                .collect();
+            let r = depminer_relation::Relation::from_columns(
+                depminer_relation::Schema::synthetic(n_attrs).unwrap(),
+                cols,
+            )
+            .unwrap();
+            for eps in [0.0, 0.1, 0.25, 0.5] {
+                let fast = approximate_fds(&r, eps);
+                let brute = approximate_fds_brute(&r, eps);
+                assert_eq!(fast.len(), brute.len(), "trial {trial} eps {eps}");
+                for (f, b) in fast.iter().zip(&brute) {
+                    assert_eq!(f.fd, b.fd, "trial {trial} eps {eps}");
+                    assert!((f.error - b.error).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_gives_smaller_or_equal_lhs() {
+        let r = datasets::enrollment();
+        let strict = approximate_fds(&r, 0.0);
+        let loose = approximate_fds(&r, 0.4);
+        // Exact validity implies approximate validity, so every strict
+        // minimal lhs must contain some loose minimal lhs for the same rhs.
+        for sf in &strict {
+            assert!(
+                loose
+                    .iter()
+                    .filter(|lf| lf.fd.rhs == sf.fd.rhs)
+                    .any(|lf| lf.fd.lhs.is_subset_of(sf.fd.lhs)),
+                "strict FD {:?} has no loose minimal lhs below it",
+                sf.fd
+            );
+        }
+    }
+
+    #[test]
+    fn empty_relation_all_empty_lhs() {
+        let r = depminer_relation::Relation::from_columns(
+            depminer_relation::Schema::synthetic(2).unwrap(),
+            vec![vec![], vec![]],
+        )
+        .unwrap();
+        let afds = approximate_fds(&r, 0.0);
+        assert_eq!(afds.len(), 2);
+        assert!(afds.iter().all(|a| a.fd.lhs.is_empty() && a.error == 0.0));
+    }
+}

@@ -1,0 +1,423 @@
+//! The exact TANE algorithm [HKPT98], the baseline of the paper's §5.
+//!
+//! TANE walks the attribute-set lattice level by level. Each node `X`
+//! carries its stripped partition `π̂_X` and an rhs⁺ candidate set `C⁺(X)`;
+//! dependencies `X\{A} → A` are tested by comparing partition errors
+//! (`X → A` holds iff `e(X) = e(X ∪ {A})`, where `e(X) = ||π̂_X|| − |π̂_X|`),
+//! candidate sets prune rhs attributes transitively, and (super)key nodes
+//! are cut from the lattice after emitting their remaining minimal FDs.
+//!
+//! The output is exactly the set of minimal non-trivial FDs — the same
+//! cover Dep-Miner produces, which the integration tests assert on both
+//! crafted and random relations.
+
+use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_relation::{
+    AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, Schema, StrippedPartition,
+    StrippedPartitionDb,
+};
+use std::time::{Duration, Instant};
+
+/// Statistics about a TANE run (for the benchmark harness and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaneStats {
+    /// Number of lattice levels visited (max |X| reached).
+    pub levels: usize,
+    /// Total lattice nodes examined.
+    pub candidates: usize,
+    /// Stripped-partition products computed.
+    pub partition_products: usize,
+    /// Wall-clock time of the run (excluding partition-db extraction when
+    /// entering via [`Tane::run_db`]).
+    pub elapsed: Duration,
+}
+
+/// Result of a TANE run.
+#[derive(Debug, Clone)]
+pub struct TaneResult {
+    /// The schema mined.
+    pub schema: Schema,
+    /// Number of tuples.
+    pub n_rows: usize,
+    /// Minimal non-trivial FDs (a cover of `dep(r)`), sorted.
+    pub fds: Vec<Fd>,
+    /// Run statistics.
+    pub stats: TaneStats,
+}
+
+impl TaneResult {
+    /// Groups the discovered FDs into per-attribute lhs families
+    /// `lhs(dep(r), A)`, *including* the trivial entry (`{A}`, or `∅` when
+    /// `∅ → A` holds) — the form required by the §5.1 Armstrong extension
+    /// (`cmax(dep(r), A) = Tr(lhs(dep(r), A))`).
+    pub fn lhs_families(&self) -> Vec<Vec<AttrSet>> {
+        lhs_families_from_fds(&self.fds, self.schema.arity())
+    }
+}
+
+/// See [`TaneResult::lhs_families`]; split out for reuse by the extension.
+pub fn lhs_families_from_fds(fds: &[Fd], arity: usize) -> Vec<Vec<AttrSet>> {
+    let mut fams: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
+    for f in fds {
+        fams[f.rhs].push(f.lhs);
+    }
+    for (a, fam) in fams.iter_mut().enumerate() {
+        // `{A}` is a minimal lhs unless ∅ → A holds (∅ ⊂ {A}).
+        if !fam.contains(&AttrSet::empty()) {
+            fam.push(AttrSet::singleton(a));
+        }
+        fam.sort_unstable();
+    }
+    fams
+}
+
+/// The exact TANE miner.
+///
+/// The two pruning rules of [HKPT98] can be disabled independently for
+/// ablation studies (`ablation_tane` bench): `rhs_pruning` is the C⁺
+/// candidate-set machinery, `key_pruning` cuts superkey nodes from the
+/// lattice. Disabling either preserves correctness (the same minimal FDs
+/// come out — asserted by tests) but changes how much of the lattice is
+/// explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tane {
+    /// Enable C⁺ rhs-candidate pruning (on in the paper).
+    pub rhs_pruning: bool,
+    /// Enable superkey pruning (on in the paper).
+    pub key_pruning: bool,
+}
+
+impl Default for Tane {
+    fn default() -> Self {
+        Tane::new()
+    }
+}
+
+impl Tane {
+    /// Creates a miner with the paper's full pruning.
+    pub fn new() -> Self {
+        Tane {
+            rhs_pruning: true,
+            key_pruning: true,
+        }
+    }
+
+    /// Disables the C⁺ rhs-candidate pruning (ablation).
+    pub fn without_rhs_pruning(mut self) -> Self {
+        self.rhs_pruning = false;
+        self
+    }
+
+    /// Disables superkey pruning (ablation).
+    pub fn without_key_pruning(mut self) -> Self {
+        self.key_pruning = false;
+        self
+    }
+
+    /// Mines a relation (computing per-attribute stripped partitions first).
+    pub fn run(&self, r: &Relation) -> TaneResult {
+        let db = StrippedPartitionDb::from_relation(r);
+        self.run_db(&db)
+    }
+
+    /// Mines from a pre-computed stripped partition database.
+    pub fn run_db(&self, db: &StrippedPartitionDb) -> TaneResult {
+        let t0 = Instant::now();
+        let n = db.arity();
+        let n_rows = db.n_rows();
+        let full = AttrSet::full(n);
+        let mut stats = TaneStats::default();
+        let mut fds: Vec<Fd> = Vec::new();
+
+        // err(X) = ||π̂_X|| − |π̂_X|; X → A holds iff err(X) == err(XA).
+        let err = |p: &StrippedPartition| p.total_tuples() - p.num_classes();
+        // err(∅): a single class of all tuples (when n_rows > 1).
+        let err_empty = n_rows.saturating_sub(1);
+
+        // Global C⁺ store; sets stay after pruning so the key-pruning
+        // minimality test can consult them (computed on demand for sets the
+        // lattice never generated — the on-demand value intersects stored
+        // subsets' C⁺, which upper-bounds the true C⁺ and coincides with it
+        // in the cases key pruning reaches; cross-validated in tests).
+        let mut cplus: FxHashMap<AttrSet, AttrSet> = FxHashMap::default();
+        cplus.insert(AttrSet::empty(), full);
+
+        // Level 1.
+        let mut level: Vec<AttrSet> = (0..n).map(AttrSet::singleton).collect();
+        let mut parts: FxHashMap<AttrSet, StrippedPartition> = (0..n)
+            .map(|a| (AttrSet::singleton(a), db.partition(a).clone()))
+            .collect();
+        let mut prev_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
+        let mut scratch = ProductScratch::new(n_rows);
+
+        let mut l = 1usize;
+        while !level.is_empty() {
+            stats.levels = l;
+            stats.candidates += level.len();
+
+            // --- COMPUTE_DEPENDENCIES -----------------------------------
+            for &x in &level {
+                let c = x
+                    .iter()
+                    .map(|a| cplus[&x.without(a)])
+                    .fold(full, AttrSet::intersection);
+                cplus.insert(x, c);
+            }
+            for &x in &level {
+                // Without rhs pruning, test every attribute of X; C⁺ is
+                // still *maintained* (the key-pruning minimality test needs
+                // it) but not used to skip validity checks.
+                let cx = if self.rhs_pruning { cplus[&x] } else { full };
+                let ex = err(&parts[&x]);
+                for a in x.intersection(cx).iter() {
+                    let xa = x.without(a);
+                    let e_sub = if xa.is_empty() {
+                        err_empty
+                    } else {
+                        err(&prev_parts[&xa])
+                    };
+                    if e_sub == ex {
+                        // X\{A} → A is valid; minimal iff C⁺ still allows A.
+                        if cplus[&x].contains(a) {
+                            fds.push(Fd::new(xa, a));
+                        }
+                        let c = cplus.get_mut(&x).expect("inserted above");
+                        c.remove(a);
+                        *c = c.difference(full.difference(x));
+                    }
+                }
+            }
+
+            // --- PRUNE ---------------------------------------------------
+            let mut survivors: Vec<AttrSet> = Vec::with_capacity(level.len());
+            for &x in &level {
+                if self.rhs_pruning && cplus[&x].is_empty() {
+                    continue;
+                }
+                if self.key_pruning && parts[&x].is_superkey() {
+                    for a in cplus[&x].difference(x).iter() {
+                        // X → A is minimal iff A survives in every
+                        // C⁺(X ∪ {A} \ {B}).
+                        let ok = x
+                            .iter()
+                            .all(|b| cplus_lookup(x.with(a).without(b), &mut cplus).contains(a));
+                        if ok {
+                            fds.push(Fd::new(x, a));
+                        }
+                    }
+                    continue; // delete key node from the lattice
+                }
+                survivors.push(x);
+            }
+
+            // --- GENERATE_NEXT_LEVEL ------------------------------------
+            let (next_level, next_parts) =
+                generate_next(&survivors, &parts, &mut scratch, &mut stats);
+            prev_parts = std::mem::take(&mut parts);
+            parts = next_parts;
+            level = next_level;
+            l += 1;
+        }
+
+        normalize_fds(&mut fds);
+        stats.elapsed = t0.elapsed();
+        TaneResult {
+            schema: db.schema().clone(),
+            n_rows,
+            fds,
+            stats,
+        }
+    }
+}
+
+/// Looks up `C⁺(Y)`, computing it on demand (memoized) as the intersection
+/// of its subsets' candidate sets when the lattice never generated `Y`.
+fn cplus_lookup(y: AttrSet, cplus: &mut FxHashMap<AttrSet, AttrSet>) -> AttrSet {
+    if let Some(&c) = cplus.get(&y) {
+        return c;
+    }
+    let mut acc = None;
+    for b in y.iter() {
+        let sub = cplus_lookup(y.without(b), cplus);
+        acc = Some(match acc {
+            None => sub,
+            Some(a) => AttrSet::intersection(a, sub),
+        });
+    }
+    let c = acc.expect("y must be non-empty: ∅ is always stored");
+    cplus.insert(y, c);
+    c
+}
+
+/// Prefix-join generation with Apriori pruning; partitions of new nodes are
+/// products of their generating pair.
+fn generate_next(
+    survivors: &[AttrSet],
+    parts: &FxHashMap<AttrSet, StrippedPartition>,
+    scratch: &mut ProductScratch,
+    stats: &mut TaneStats,
+) -> (Vec<AttrSet>, FxHashMap<AttrSet, StrippedPartition>) {
+    let present: FxHashSet<AttrSet> = survivors.iter().copied().collect();
+    let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
+    for &x in survivors {
+        let m = x.max_attr().expect("level sets are non-empty");
+        by_prefix.entry(x.without(m)).or_default().push(x);
+    }
+    let mut next: Vec<AttrSet> = Vec::new();
+    let mut next_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
+    for (_, group) in by_prefix {
+        for (i, &x) in group.iter().enumerate() {
+            for &y in &group[i + 1..] {
+                let z = x.union(y);
+                if z.drop_one().all(|w| present.contains(&w)) {
+                    let p = parts[&x].product_with(&parts[&y], scratch);
+                    stats.partition_products += 1;
+                    next_parts.insert(z, p);
+                    next.push(z);
+                }
+            }
+        }
+    }
+    next.sort_unstable();
+    next.dedup();
+    (next, next_parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depminer_fdtheory::mine_minimal_fds;
+    use depminer_relation::datasets;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn employee_matches_oracle() {
+        let r = datasets::employee();
+        let result = Tane::new().run(&r);
+        assert_eq!(result.fds, mine_minimal_fds(&r));
+        assert_eq!(result.fds.len(), 14);
+        assert!(result.stats.levels >= 2);
+        assert!(result.stats.candidates > 5);
+    }
+
+    #[test]
+    fn all_datasets_match_oracle() {
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::constant_columns(),
+            datasets::no_fds(),
+        ] {
+            let result = Tane::new().run(&r);
+            assert_eq!(
+                result.fds,
+                mine_minimal_fds(&r),
+                "TANE diverges from oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_columns_emit_empty_lhs() {
+        let r = datasets::constant_columns();
+        let fds = Tane::new().run(&r).fds;
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 1)));
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), 2)));
+        // No redundant X → k1 with larger lhs.
+        assert_eq!(fds.iter().filter(|f| f.rhs == 1).count(), 1);
+    }
+
+    #[test]
+    fn single_and_zero_tuple_relations() {
+        for cols in [vec![vec![], vec![]], vec![vec![1], vec![2]]] {
+            let r = depminer_relation::Relation::from_columns(
+                depminer_relation::Schema::synthetic(2).unwrap(),
+                cols,
+            )
+            .unwrap();
+            let fds = Tane::new().run(&r).fds;
+            assert_eq!(
+                fds,
+                vec![Fd::new(AttrSet::empty(), 0), Fd::new(AttrSet::empty(), 1)]
+            );
+        }
+    }
+
+    #[test]
+    fn lhs_families_include_trivial_entry() {
+        let r = datasets::employee();
+        let result = Tane::new().run(&r);
+        let fams = result.lhs_families();
+        // Example 10: lhs(A) = {A, BC, CD}.
+        assert_eq!(fams[0], vec![s(&[0]), s(&[1, 2]), s(&[2, 3])]);
+        // lhs(E) = {B, C, D, E}.
+        assert_eq!(fams[4], vec![s(&[1]), s(&[2]), s(&[3]), s(&[4])]);
+    }
+
+    #[test]
+    fn lhs_families_drop_trivial_when_constant() {
+        let r = datasets::constant_columns();
+        let fams = Tane::new().run(&r).lhs_families();
+        assert_eq!(fams[1], vec![AttrSet::empty()]);
+    }
+
+    #[test]
+    fn pruning_ablations_preserve_output() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(555);
+        let variants = [
+            Tane::new().without_rhs_pruning(),
+            Tane::new().without_key_pruning(),
+            Tane::new().without_rhs_pruning().without_key_pruning(),
+        ];
+        for trial in 0..25 {
+            let n_attrs = rng.gen_range(2..=5);
+            let n_rows = rng.gen_range(1..=12);
+            let cols: Vec<Vec<u32>> = (0..n_attrs)
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3)).collect())
+                .collect();
+            let r = depminer_relation::Relation::from_columns(
+                depminer_relation::Schema::synthetic(n_attrs).unwrap(),
+                cols,
+            )
+            .unwrap();
+            let full = Tane::new().run(&r);
+            for v in variants {
+                let ablated = v.run(&r);
+                assert_eq!(ablated.fds, full.fds, "trial {trial}, variant {v:?}");
+                // Less pruning never *shrinks* the explored lattice.
+                assert!(
+                    ablated.stats.candidates >= full.stats.candidates,
+                    "trial {trial}: pruning-off explored fewer candidates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_relations_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n_attrs = rng.gen_range(2..=5);
+            let n_rows = rng.gen_range(1..=12);
+            let domain = rng.gen_range(1..=3u32);
+            let cols: Vec<Vec<u32>> = (0..n_attrs)
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..=domain)).collect())
+                .collect();
+            let r = depminer_relation::Relation::from_columns(
+                depminer_relation::Schema::synthetic(n_attrs).unwrap(),
+                cols,
+            )
+            .unwrap();
+            let tane = Tane::new().run(&r).fds;
+            let oracle = mine_minimal_fds(&r);
+            assert_eq!(tane, oracle, "trial {trial}: TANE != oracle on {r:?}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Approximate functional dependencies: FDs that *almost* hold.
+//!
+//! TANE's companion feature ([HKPT98] §5, mentioned in the paper's §5.1):
+//! an FD `X → A` holds with error `g₃` — the fraction of tuples to delete
+//! for it to hold exactly. Dirty data rarely satisfies FDs exactly; mining
+//! at a small ε surfaces the rules the clean data would satisfy.
+//!
+//! Run with: `cargo run --release --example approximate`
+
+use depminer::prelude::*;
+use depminer::relation::Schema;
+
+fn main() {
+    // A zip-code table with one typo: tuple 5 assigns zip 69001 to Paris.
+    let schema = Schema::new(["city", "zip", "country"]).expect("valid schema");
+    let rows = vec![
+        vec![Value::from("Lyon"), Value::from(69001), Value::from("FR")],
+        vec![Value::from("Lyon"), Value::from(69002), Value::from("FR")],
+        vec![Value::from("Paris"), Value::from(75001), Value::from("FR")],
+        vec![Value::from("Paris"), Value::from(75002), Value::from("FR")],
+        vec![Value::from("Geneva"), Value::from(1201), Value::from("CH")],
+        vec![Value::from("Paris"), Value::from(69001), Value::from("FR")], // typo!
+        vec![Value::from("Lyon"), Value::from(69003), Value::from("FR")],
+        vec![Value::from("Geneva"), Value::from(1202), Value::from("CH")],
+    ];
+    let r = Relation::from_rows(schema.clone(), rows).expect("rows match schema");
+    println!("Relation with one dirty tuple:\n{r}");
+
+    // Exact mining misses zip → city because of the typo.
+    let exact = DepMiner::new().mine(&r);
+    println!("Exact minimal FDs:");
+    for fd in &exact.fds {
+        println!("  {}", fd.display_with(&schema));
+    }
+    let zip_to_city = exact
+        .fds
+        .iter()
+        .any(|f| f.lhs == AttrSet::singleton(1) && f.rhs == 0);
+    println!("  (zip -> city found exactly? {zip_to_city})");
+
+    // Approximate mining at ε = 15% recovers it, with its error.
+    println!("\nApproximate minimal FDs (g3 <= 0.15):");
+    for afd in approximate_fds(&r, 0.15) {
+        println!(
+            "  {:<24} error {:.3}",
+            afd.fd.display_with(&schema),
+            afd.error
+        );
+    }
+    println!("\nzip -> city now appears with error 1/8 = 0.125: deleting the");
+    println!("single dirty tuple would make it exact.");
+}

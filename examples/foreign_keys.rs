@@ -1,0 +1,80 @@
+//! Foreign-key hunting with unary inclusion dependencies.
+//!
+//! FDs describe structure *within* a relation; inclusion dependencies
+//! (INDs) describe references *between* relations — the other half of the
+//! [KMRS92] discovery framework the paper builds on. This example profiles
+//! a two-table mini-schema and reads the IND Hasse diagram like a dba
+//! hunting for undeclared foreign keys.
+//!
+//! Run with: `cargo run --release --example foreign_keys`
+
+use depminer::ind::{transitive_reduction, unary_inds};
+use depminer::prelude::*;
+use depminer::relation::Schema;
+
+fn main() {
+    let customers = Relation::from_rows(
+        Schema::new(["id", "name", "country"]).expect("valid schema"),
+        vec![
+            vec![Value::Int(1), Value::from("acme"), Value::from("FR")],
+            vec![Value::Int(2), Value::from("bolt"), Value::from("DE")],
+            vec![Value::Int(3), Value::from("corp"), Value::from("FR")],
+        ],
+    )
+    .expect("valid relation");
+    let orders = Relation::from_rows(
+        Schema::new(["oid", "customer", "amount"]).expect("valid schema"),
+        vec![
+            vec![Value::Int(100), Value::Int(1), Value::Int(50)],
+            vec![Value::Int(101), Value::Int(3), Value::Int(75)],
+            vec![Value::Int(102), Value::Int(1), Value::Int(20)],
+            vec![Value::Int(103), Value::Int(2), Value::Int(75)],
+        ],
+    )
+    .expect("valid relation");
+
+    println!("customers:\n{customers}");
+    println!("orders:\n{orders}");
+
+    let named = [("customers", &customers), ("orders", &orders)];
+    let inds = unary_inds(&[&customers, &orders]);
+    println!("Unary inclusion dependencies ({}):", inds.len());
+    for ind in &inds {
+        println!("  {}", ind.display_with(&named));
+    }
+
+    // orders.customer ⊆ customers.id is the undeclared foreign key.
+    assert!(inds
+        .iter()
+        .any(|i| i.display_with(&named) == "orders[customer] ⊆ customers[id]"));
+
+    let (classes, edges) = transitive_reduction(&inds);
+    println!(
+        "\nHasse diagram ({} classes, {} edges):",
+        classes.len(),
+        edges.len()
+    );
+    for (i, j) in &edges {
+        let fmt = |k: usize| {
+            classes[k]
+                .iter()
+                .map(|c| {
+                    let (n, r) = named[c.relation];
+                    format!("{n}[{}]", r.schema().name(c.attribute))
+                })
+                .collect::<Vec<_>>()
+                .join(" = ")
+        };
+        println!("  {} < {}", fmt(*i), fmt(*j));
+    }
+
+    // Combine with FD discovery on each table for a full profile.
+    println!("\nPer-table minimal FDs:");
+    for (name, r) in named {
+        let fds = DepMiner::new().mine(r).fds;
+        println!("  {name}:");
+        for fd in &fds {
+            println!("    {}", fd.display_with(r.schema()));
+        }
+    }
+}

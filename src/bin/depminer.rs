@@ -1,0 +1,11 @@
+//! The `depminer` binary: see [`depminer::cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = depminer::cli::run(&args, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(e.code);
+    }
+}

@@ -1,0 +1,785 @@
+//! The `depminer` command-line tool.
+//!
+//! A thin, dependency-free front end over the library for the dba workflow
+//! the paper describes: discover FDs, sample with Armstrong relations,
+//! inspect keys, mine approximate FDs on dirty data, plan a normalization,
+//! and generate benchmark data.
+//!
+//! ```text
+//! depminer fds [--algo depminer|depminer2|tane|fdep|naive] [--save <fds.txt>] <file.csv>
+//! depminer armstrong [--synthetic] [--output <out.csv>] <file.csv>
+//! depminer keys <file.csv>
+//! depminer approx --epsilon <e> <file.csv>
+//! depminer normalize <file.csv>
+//! depminer generate --attrs <n> --rows <n> [--correlation <c>] [--seed <s>] <out.csv>
+//! ```
+//!
+//! All logic lives here (unit-testable against in-memory writers); the
+//! binary in `src/bin/` only forwards `std::env::args`.
+
+use depminer_core::DepMiner;
+use depminer_fdep::Fdep;
+use depminer_fdtheory::{candidate_keys, canonical_cover, is_bcnf, synthesize_3nf};
+use depminer_relation::{csv, Relation, SyntheticConfig};
+use depminer_tane::{approximate_fds, Tane};
+use std::fmt;
+use std::io::Write;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime).
+    pub code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        message: msg.into(),
+        code: 2,
+    }
+}
+
+fn run_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        message: msg.into(),
+        code: 1,
+    }
+}
+
+const USAGE: &str = "\
+depminer — functional-dependency discovery and Armstrong relations (EDBT 2000)
+
+USAGE:
+    depminer fds [--algo depminer|depminer2|tane|fdep|naive] [--save <fds.txt>] <file.csv>
+    depminer armstrong [--synthetic] [--output <out.csv>] <file.csv>
+    depminer keys <file.csv>
+    depminer approx --epsilon <e> <file.csv>
+    depminer normalize <file.csv>
+    depminer inds <file.csv> [<file2.csv> ...]
+    depminer describe <file.csv>
+    depminer report <file.csv>
+    depminer design [--output <out.csv>] <fds.txt>
+    depminer prove --goal \"<X -> Y>\" <fds.txt>
+    depminer generate --attrs <n> --rows <n> [--correlation <c>] [--seed <s>] <out.csv>
+    depminer help
+
+FD FILE FORMAT (design / prove):
+    attributes: city street zip
+    city street -> zip
+    zip -> city
+";
+
+/// Parsed option list: `--key value` flags, `--flag` booleans, positionals.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+    positionals: Vec<String>,
+}
+
+/// Flags that take no value, per subcommand namespace.
+const BOOLEAN_FLAGS: &[&str] = &["synthetic"];
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, CliError> {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| usage_err(format!("--{name} needs a value")))?;
+                    flags.push((name.to_string(), Some(v.clone())));
+                }
+            } else {
+                positionals.push(a.clone());
+            }
+        }
+        Ok(Args { flags, positionals })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| usage_err(format!("invalid value for --{name}: {v}"))),
+        }
+    }
+
+    fn single_file(&self) -> Result<&str, CliError> {
+        match self.positionals.as_slice() {
+            [f] => Ok(f),
+            [] => Err(usage_err("missing input file")),
+            _ => Err(usage_err("expected exactly one input file")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Relation, CliError> {
+    csv::read_csv_file(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))
+}
+
+/// Runs the CLI. `args` excludes the program name. Output goes to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let (cmd, rest) = match args.split_first() {
+        None => {
+            write!(out, "{USAGE}").map_err(io)?;
+            return Err(usage_err("missing command"));
+        }
+        Some((c, rest)) => (c.as_str(), rest),
+    };
+    let parsed = Args::parse(rest)?;
+    match cmd {
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}").map_err(io)?;
+            Ok(())
+        }
+        "fds" => cmd_fds(&parsed, out),
+        "armstrong" => cmd_armstrong(&parsed, out),
+        "keys" => cmd_keys(&parsed, out),
+        "approx" => cmd_approx(&parsed, out),
+        "normalize" => cmd_normalize(&parsed, out),
+        "inds" => cmd_inds(&parsed, out),
+        "describe" => cmd_describe(&parsed, out),
+        "report" => cmd_report(&parsed, out),
+        "design" => cmd_design(&parsed, out),
+        "prove" => cmd_prove(&parsed, out),
+        "generate" => cmd_generate(&parsed, out),
+        other => Err(usage_err(format!("unknown command: {other}\n{USAGE}"))),
+    }
+}
+
+fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let r = load(args.single_file()?)?;
+    let algo = args.get("algo").unwrap_or("depminer");
+    let fds = match algo {
+        "depminer" => DepMiner::algorithm_2(None).mine(&r).fds,
+        "depminer2" => DepMiner::algorithm_3().mine(&r).fds,
+        "tane" => Tane::new().run(&r).fds,
+        "fdep" => Fdep::new().run(&r).fds,
+        "naive" => depminer_fdtheory::mine_minimal_fds(&r),
+        other => return Err(usage_err(format!("unknown --algo: {other}"))),
+    };
+    writeln!(
+        out,
+        "# {} minimal non-trivial FDs in {} ({} tuples, {} attributes), algo = {algo}",
+        fds.len(),
+        args.single_file()?,
+        r.len(),
+        r.arity()
+    )
+    .map_err(io)?;
+    for fd in &fds {
+        writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
+    }
+    if let Some(path) = args.get("save") {
+        let text = depminer_fdtheory::fdfile::render(r.schema(), &fds);
+        std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "# saved FD file to {path}").map_err(io)?;
+    }
+    Ok(())
+}
+
+fn cmd_armstrong(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let r = load(args.single_file()?)?;
+    let result = DepMiner::new().mine(&r);
+    let arm = if args.has("synthetic") {
+        result.synthetic_armstrong()
+    } else {
+        result
+            .real_world_armstrong(&r)
+            .map_err(|e| run_err(format!("{e}; retry with --synthetic")))?
+    };
+    writeln!(
+        out,
+        "# Armstrong relation: {} tuples (input had {}), satisfies exactly the {} discovered FDs",
+        arm.len(),
+        r.len(),
+        result.fds.len()
+    )
+    .map_err(io)?;
+    match args.get("output") {
+        Some(path) => {
+            csv::write_csv_file(&arm, path)
+                .map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "# written to {path}").map_err(io)?;
+        }
+        None => {
+            write!(out, "{arm}").map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_keys(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let r = load(args.single_file()?)?;
+    let result = DepMiner::new().mine(&r);
+    let keys = result.candidate_keys();
+    writeln!(out, "# {} candidate key(s)", keys.len()).map_err(io)?;
+    for k in keys {
+        writeln!(out, "{}", r.schema().format_set(k)).map_err(io)?;
+    }
+    Ok(())
+}
+
+fn cmd_approx(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let epsilon: f64 = args
+        .get_parsed("epsilon")?
+        .ok_or_else(|| usage_err("approx requires --epsilon <e>"))?;
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(usage_err("--epsilon must be in [0, 1]"));
+    }
+    let r = load(args.single_file()?)?;
+    let afds = approximate_fds(&r, epsilon);
+    writeln!(
+        out,
+        "# {} minimal approximate FDs with g3 <= {epsilon}",
+        afds.len()
+    )
+    .map_err(io)?;
+    for afd in afds {
+        writeln!(
+            out,
+            "{:<40} g3 = {:.4}",
+            afd.fd.display_with(r.schema()),
+            afd.error
+        )
+        .map_err(io)?;
+    }
+    Ok(())
+}
+
+fn cmd_normalize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let r = load(args.single_file()?)?;
+    let schema = r.schema().clone();
+    let result = DepMiner::new().mine(&r);
+    let cover = canonical_cover(&result.fds);
+    writeln!(out, "# canonical cover ({} FDs):", cover.len()).map_err(io)?;
+    for fd in &cover {
+        writeln!(out, "  {}", fd.display_with(&schema)).map_err(io)?;
+    }
+    let keys = candidate_keys(&cover, r.arity());
+    writeln!(out, "# candidate keys:").map_err(io)?;
+    for k in &keys {
+        writeln!(out, "  {}", schema.format_set(*k)).map_err(io)?;
+    }
+    if is_bcnf(schema.all_attrs(), &cover) {
+        writeln!(out, "# schema is in BCNF; no decomposition needed").map_err(io)?;
+    } else {
+        writeln!(out, "# schema is NOT in BCNF; 3NF synthesis:").map_err(io)?;
+        for frag in synthesize_3nf(r.arity(), &cover) {
+            writeln!(
+                out,
+                "  {} ({} local FDs)",
+                schema.format_set(frag.attrs),
+                frag.local_fds.len()
+            )
+            .map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_inds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    if args.positionals.is_empty() {
+        return Err(usage_err("inds requires at least one input file"));
+    }
+    let relations: Vec<(String, depminer_relation::Relation)> = args
+        .positionals
+        .iter()
+        .map(|p| load(p).map(|r| (p.clone(), r)))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&depminer_relation::Relation> = relations.iter().map(|(_, r)| r).collect();
+    let inds = depminer_ind::unary_inds(&refs);
+    let named: Vec<(&str, &depminer_relation::Relation)> =
+        relations.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    writeln!(out, "# {} unary inclusion dependencies", inds.len()).map_err(io)?;
+    for ind in &inds {
+        writeln!(out, "{}", ind.display_with(&named)).map_err(io)?;
+    }
+    let (classes, edges) = depminer_ind::transitive_reduction(&inds);
+    if !edges.is_empty() {
+        writeln!(out, "# Hasse diagram ({} classes):", classes.len()).map_err(io)?;
+        let fmt_class = |i: usize| {
+            classes[i]
+                .iter()
+                .map(|c| {
+                    let (n, r) = named[c.relation];
+                    format!("{n}[{}]", r.schema().name(c.attribute))
+                })
+                .collect::<Vec<_>>()
+                .join(" = ")
+        };
+        for (i, j) in edges {
+            writeln!(out, "  {} < {}", fmt_class(i), fmt_class(j)).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_describe(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let r = load(args.single_file()?)?;
+    let stats = depminer_relation::column_stats(&r);
+    write!(out, "{}", depminer_relation::render_stats(&stats, r.len())).map_err(io)
+}
+
+fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let path = args.single_file()?;
+    let r = load(path)?;
+    let schema = r.schema().clone();
+    writeln!(out, "# Profiling report for {path}\n").map_err(io)?;
+
+    writeln!(out, "## Column statistics").map_err(io)?;
+    let stats = depminer_relation::column_stats(&r);
+    write!(out, "{}", depminer_relation::render_stats(&stats, r.len())).map_err(io)?;
+
+    let result = DepMiner::new().mine(&r);
+    writeln!(
+        out,
+        "\n## Minimal functional dependencies ({})",
+        result.fds.len()
+    )
+    .map_err(io)?;
+    for fd in &result.fds {
+        writeln!(out, "  {}", fd.display_with(&schema)).map_err(io)?;
+    }
+
+    let keys = result.candidate_keys();
+    writeln!(out, "\n## Candidate keys ({})", keys.len()).map_err(io)?;
+    for k in &keys {
+        writeln!(out, "  {}", schema.format_set(*k)).map_err(io)?;
+    }
+
+    writeln!(out, "\n## Armstrong sample").map_err(io)?;
+    match result.real_world_armstrong(&r) {
+        Ok(arm) => {
+            writeln!(out, "  {} tuples (input: {}):", arm.len(), r.len()).map_err(io)?;
+            for line in arm.to_string().lines() {
+                writeln!(out, "  {line}").map_err(io)?;
+            }
+        }
+        Err(e) => writeln!(out, "  unavailable: {e}").map_err(io)?,
+    }
+
+    writeln!(out, "\n## Normalization").map_err(io)?;
+    let cover = canonical_cover(&result.fds);
+    if is_bcnf(schema.all_attrs(), &cover) {
+        writeln!(out, "  schema is in BCNF").map_err(io)?;
+    } else {
+        writeln!(out, "  schema is NOT in BCNF; 3NF synthesis:").map_err(io)?;
+        for frag in synthesize_3nf(r.arity(), &cover) {
+            writeln!(out, "    {}", schema.format_set(frag.attrs)).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses the FD file format: an `attributes:` header then `X -> A` lines.
+fn parse_fd_file(
+    path: &str,
+) -> Result<(depminer_relation::Schema, Vec<depminer_fdtheory::Fd>), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    parse_fd_text(&text).map_err(|m| run_err(format!("{path}: {m}")))
+}
+
+fn parse_fd_text(
+    text: &str,
+) -> Result<(depminer_relation::Schema, Vec<depminer_fdtheory::Fd>), String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty FD file")?;
+    let names = header
+        .strip_prefix("attributes:")
+        .ok_or("first line must be `attributes: <name> <name> …`")?;
+    let schema =
+        depminer_relation::Schema::new(names.split_whitespace()).map_err(|e| e.to_string())?;
+    let mut fds = Vec::new();
+    for line in lines {
+        let (lhs_txt, rhs_txt) = line
+            .split_once("->")
+            .ok_or_else(|| format!("missing `->` in {line:?}"))?;
+        let lhs = schema
+            .attr_set(lhs_txt.split_whitespace())
+            .map_err(|e| e.to_string())?;
+        for rhs_name in rhs_txt.split_whitespace() {
+            let rhs = schema
+                .index_of(rhs_name)
+                .ok_or_else(|| format!("unknown attribute {rhs_name:?}"))?;
+            fds.push(depminer_fdtheory::Fd::new(lhs, rhs));
+        }
+    }
+    Ok((schema, fds))
+}
+
+fn cmd_design(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let (schema, fds) = parse_fd_file(args.single_file()?)?;
+    let arm = depminer_fdtheory::design::armstrong_for_fds_with_schema(&fds, &schema);
+    writeln!(
+        out,
+        "# Armstrong relation for {} FD(s): {} tuples satisfying exactly their consequences",
+        fds.len(),
+        arm.len()
+    )
+    .map_err(io)?;
+    match args.get("output") {
+        Some(path) => {
+            csv::write_csv_file(&arm, path)
+                .map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "# written to {path}").map_err(io)?;
+        }
+        None => write!(out, "{arm}").map_err(io)?,
+    }
+    Ok(())
+}
+
+fn cmd_prove(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let goal_txt = args
+        .get("goal")
+        .ok_or_else(|| usage_err("prove requires --goal \"X -> Y\""))?;
+    let (schema, fds) = parse_fd_file(args.single_file()?)?;
+    let (lhs_txt, rhs_txt) = goal_txt
+        .split_once("->")
+        .ok_or_else(|| usage_err("goal must have the form \"X -> Y\""))?;
+    let lhs = schema
+        .attr_set(lhs_txt.split_whitespace())
+        .map_err(|e| usage_err(e.to_string()))?;
+    let rhs = schema
+        .attr_set(rhs_txt.split_whitespace())
+        .map_err(|e| usage_err(e.to_string()))?;
+    match depminer_fdtheory::derive(&fds, lhs, rhs) {
+        Some(proof) => {
+            debug_assert_eq!(proof.check(&fds), Ok(()));
+            writeln!(
+                out,
+                "# F |= {goal_txt}; derivation under Armstrong's axioms:"
+            )
+            .map_err(io)?;
+            write!(out, "{}", proof.render()).map_err(io)?;
+        }
+        None => {
+            writeln!(out, "# F does NOT imply {goal_txt}").map_err(io)?;
+            // Show the counterexample relation: an Armstrong relation for F
+            // violates every non-implied FD.
+            writeln!(out, "# counterexample (Armstrong relation for F):").map_err(io)?;
+            let arm = depminer_fdtheory::design::armstrong_for_fds_with_schema(&fds, &schema);
+            write!(out, "{arm}").map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let n_attrs: usize = args
+        .get_parsed("attrs")?
+        .ok_or_else(|| usage_err("generate requires --attrs <n>"))?;
+    let n_rows: usize = args
+        .get_parsed("rows")?
+        .ok_or_else(|| usage_err("generate requires --rows <n>"))?;
+    let correlation: f64 = args.get_parsed("correlation")?.unwrap_or(0.0);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(0xEDB7_2000);
+    let path = args.single_file()?;
+    let r = SyntheticConfig {
+        n_attrs,
+        n_rows,
+        correlation,
+        seed,
+    }
+    .generate()
+    .map_err(|e| usage_err(format!("generation failed: {e}")))?;
+    csv::write_csv_file(&r, path).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+    writeln!(
+        out,
+        "# wrote {n_rows} tuples x {n_attrs} attributes (c = {correlation}, seed = {seed}) to {path}"
+    )
+    .map_err(io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmp_csv(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("depminer_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const ZIP_CSV: &str = "city,zip\nLyon,69001\nLyon,69002\nParis,75001\n";
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("armstrong"));
+    }
+
+    #[test]
+    fn missing_command_is_usage_error() {
+        let err = run_cli(&[]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_cli(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn fds_on_csv() {
+        let path = tmp_csv("fds.csv", ZIP_CSV);
+        let out = run_cli(&["fds", &path]).unwrap();
+        assert!(out.contains("zip -> city"));
+        assert!(!out.contains("city -> zip"));
+        // every algorithm agrees
+        for algo in ["depminer", "depminer2", "tane", "fdep", "naive"] {
+            let o = run_cli(&["fds", "--algo", algo, &path]).unwrap();
+            assert!(o.contains("zip -> city"), "algo {algo}");
+        }
+        let err = run_cli(&["fds", "--algo", "nope", &path]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn fds_missing_file_is_runtime_error() {
+        let err = run_cli(&["fds", "/nonexistent/x.csv"]).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn armstrong_to_stdout_and_file() {
+        let path = tmp_csv("arm.csv", ZIP_CSV);
+        let out = run_cli(&["armstrong", &path]).unwrap();
+        assert!(out.contains("Armstrong relation"));
+        assert!(out.contains("Lyon"));
+        let outfile = tmp_csv("arm_out.csv", "");
+        let out = run_cli(&["armstrong", "--output", &outfile, &path]).unwrap();
+        assert!(out.contains("written to"));
+        let written = std::fs::read_to_string(&outfile).unwrap();
+        assert!(written.starts_with("city,zip"));
+        // synthetic variant always exists
+        let out = run_cli(&["armstrong", "--synthetic", &path]).unwrap();
+        assert!(out.contains("Armstrong relation"));
+    }
+
+    #[test]
+    fn keys_lists_candidate_keys() {
+        let path = tmp_csv("keys.csv", ZIP_CSV);
+        let out = run_cli(&["keys", &path]).unwrap();
+        assert!(out.contains("{zip}"));
+        assert!(
+            !out.contains("{city, zip}"),
+            "non-minimal key listed:\n{out}"
+        );
+    }
+
+    #[test]
+    fn approx_requires_epsilon() {
+        let path = tmp_csv("approx.csv", ZIP_CSV);
+        assert_eq!(run_cli(&["approx", &path]).unwrap_err().code, 2);
+        assert_eq!(
+            run_cli(&["approx", "--epsilon", "7", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
+        let out = run_cli(&["approx", "--epsilon", "0.5", &path]).unwrap();
+        assert!(out.contains("g3 ="));
+    }
+
+    #[test]
+    fn normalize_reports_cover_and_keys() {
+        let path = tmp_csv(
+            "norm.csv",
+            "city,street,zip\nLyon,a,69001\nLyon,b,69002\nParis,a,75001\nParis,c,75002\n",
+        );
+        let out = run_cli(&["normalize", &path]).unwrap();
+        assert!(out.contains("canonical cover"));
+        assert!(out.contains("candidate keys"));
+    }
+
+    #[test]
+    fn generate_roundtrip() {
+        let outfile = tmp_csv("gen.csv", "");
+        let out = run_cli(&[
+            "generate",
+            "--attrs",
+            "4",
+            "--rows",
+            "50",
+            "--correlation",
+            "0.3",
+            "--seed",
+            "7",
+            &outfile,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote 50 tuples"));
+        let r = csv::read_csv_file(&outfile).unwrap();
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.arity(), 4);
+        // deterministic: regenerating with the same seed matches
+        run_cli(&[
+            "generate",
+            "--attrs",
+            "4",
+            "--rows",
+            "50",
+            "--correlation",
+            "0.3",
+            "--seed",
+            "7",
+            &outfile,
+        ])
+        .unwrap();
+        assert_eq!(csv::read_csv_file(&outfile).unwrap(), r);
+        // missing required flags
+        assert_eq!(run_cli(&["generate", &outfile]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn describe_prints_stats() {
+        let path = tmp_csv("desc.csv", ZIP_CSV);
+        let out = run_cli(&["describe", &path]).unwrap();
+        assert!(out.contains("3 tuples"));
+        assert!(out.contains("distinct"));
+        assert!(out.contains("city"));
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let path = tmp_csv("report.csv", ZIP_CSV);
+        let out = run_cli(&["report", &path]).unwrap();
+        for section in [
+            "Column statistics",
+            "Minimal functional dependencies",
+            "Candidate keys",
+            "Armstrong sample",
+            "Normalization",
+        ] {
+            assert!(out.contains(section), "missing section {section}:\n{out}");
+        }
+    }
+
+    const FD_FILE: &str = "\
+# a classic
+attributes: city street zip
+city street -> zip
+zip -> city
+";
+
+    #[test]
+    fn design_builds_armstrong_example() {
+        let path = tmp_csv("design.txt", FD_FILE);
+        let out = run_cli(&["design", &path]).unwrap();
+        assert!(out.contains("Armstrong relation"));
+        assert!(out.contains("city"));
+        // and the example re-mines to an equivalent cover
+        let outfile = tmp_csv("design_out.csv", "");
+        run_cli(&["design", "--output", &outfile, &path]).unwrap();
+        let r = csv::read_csv_file(&outfile).unwrap();
+        let mined = depminer_fdtheory::mine_minimal_fds(&r);
+        let (schema, fds) = depminer_fdtheory::fdfile::parse(FD_FILE).unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert!(depminer_fdtheory::equivalent(&mined, &fds));
+    }
+
+    #[test]
+    fn prove_derives_and_refutes() {
+        let path = tmp_csv("prove.txt", FD_FILE);
+        let out = run_cli(&["prove", "--goal", "city street -> city zip", &path]).unwrap();
+        assert!(out.contains("derivation"));
+        assert!(out.contains("transitivity") || out.contains("reflexivity"));
+        let out = run_cli(&["prove", "--goal", "zip -> street", &path]).unwrap();
+        assert!(out.contains("does NOT imply"));
+        assert!(out.contains("counterexample"));
+        assert_eq!(run_cli(&["prove", &path]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn fds_save_roundtrips_into_design() {
+        // mine -> save as FD file -> design reproduces an equivalent example.
+        let data = tmp_csv("save_in.csv", ZIP_CSV);
+        let fdfile = tmp_csv("save_out.txt", "");
+        let out = run_cli(&["fds", "--save", &fdfile, &data]).unwrap();
+        assert!(out.contains("saved FD file"));
+        let design_out = run_cli(&["design", &fdfile]).unwrap();
+        assert!(design_out.contains("Armstrong relation"));
+        let proof = run_cli(&["prove", "--goal", "zip -> city", &fdfile]).unwrap();
+        assert!(proof.contains("derivation"));
+    }
+
+    #[test]
+    fn fd_file_parse_errors() {
+        let bad1 = tmp_csv("bad1.txt", "city street -> zip\n");
+        assert_eq!(run_cli(&["design", &bad1]).unwrap_err().code, 1);
+        let bad2 = tmp_csv("bad2.txt", "attributes: a b\na b c -> a\n");
+        assert_eq!(run_cli(&["design", &bad2]).unwrap_err().code, 1);
+        let bad3 = tmp_csv("bad3.txt", "attributes: a b\na b\n");
+        assert_eq!(run_cli(&["design", &bad3]).unwrap_err().code, 1);
+    }
+
+    #[test]
+    fn inds_across_files() {
+        let customers = tmp_csv("ind_customers.csv", "id,zip\n1,10\n2,20\n3,30\n");
+        let orders = tmp_csv("ind_orders.csv", "oid,customer\n100,1\n101,3\n");
+        let out = run_cli(&["inds", &customers, &orders]).unwrap();
+        assert!(out.contains("[customer]"), "missing FK IND:\n{out}");
+        assert!(out.contains("⊆"));
+        assert_eq!(run_cli(&["inds"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn flag_parsing_edge_cases() {
+        assert_eq!(run_cli(&["fds", "--algo"]).unwrap_err().code, 2);
+        assert_eq!(run_cli(&["fds"]).unwrap_err().code, 2);
+        assert_eq!(run_cli(&["fds", "a.csv", "b.csv"]).unwrap_err().code, 2);
+    }
+}

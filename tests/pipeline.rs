@@ -1,0 +1,114 @@
+//! End-to-end pipeline tests: synthetic benchmark data, CSV round-trips,
+//! approximate mining consistency, and scale smoke tests.
+
+use depminer::fdtheory::mine_minimal_fds;
+use depminer::prelude::*;
+use depminer::relation::csv;
+
+#[test]
+fn synthetic_benchmark_cells_mine_consistently() {
+    // One cell per correlation family, cross-validated across miners.
+    for c in [0.0, 0.3, 0.5] {
+        let r = SyntheticConfig {
+            n_attrs: 8,
+            n_rows: 300,
+            correlation: c,
+            seed: 21,
+        }
+        .generate()
+        .unwrap();
+        let dm1 = DepMiner::algorithm_2(None).mine(&r);
+        let dm2 = DepMiner::algorithm_3().mine(&r);
+        let tane = Tane::new().run(&r);
+        assert_eq!(dm1.fds, dm2.fds, "c={c}");
+        assert_eq!(dm1.fds, tane.fds, "c={c}");
+        // Armstrong size sanity: at least the no-FD bound is impossible to
+        // exceed, and a real sample verifies when it exists.
+        assert!(dm1.armstrong_size() <= (1 << r.arity()));
+        if let Ok(arm) = dm1.real_world_armstrong(&r) {
+            assert!(arm.len() < r.len(), "sample should be smaller than r");
+        }
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_dependencies() {
+    let r = depminer::relation::datasets::enrollment();
+    let mut buf = Vec::new();
+    csv::write_csv(&r, &mut buf).unwrap();
+    let r2 = csv::read_csv(buf.as_slice()).unwrap();
+    assert_eq!(r2.len(), r.len());
+    assert_eq!(DepMiner::new().mine(&r2).fds, DepMiner::new().mine(&r).fds);
+}
+
+#[test]
+fn armstrong_relation_csv_export() {
+    // The dba workflow: export the Armstrong sample for inspection.
+    let r = depminer::relation::datasets::employee();
+    let arm = DepMiner::new().mine(&r).real_world_armstrong(&r).unwrap();
+    let mut buf = Vec::new();
+    csv::write_csv(&arm, &mut buf).unwrap();
+    let back = csv::read_csv(buf.as_slice()).unwrap();
+    assert_eq!(back.len(), arm.len());
+    assert_eq!(mine_minimal_fds(&back), mine_minimal_fds(&arm));
+}
+
+#[test]
+fn approximate_epsilon_zero_equals_exact_on_synthetic() {
+    let r = SyntheticConfig {
+        n_attrs: 5,
+        n_rows: 120,
+        correlation: 0.5,
+        seed: 5,
+    }
+    .generate()
+    .unwrap();
+    let exact = DepMiner::new().mine(&r).fds;
+    let approx: Vec<Fd> = approximate_fds(&r, 0.0).into_iter().map(|a| a.fd).collect();
+    assert_eq!(approx, exact);
+}
+
+#[test]
+fn moderate_scale_smoke() {
+    // |R| = 25, |r| = 3000, correlated: all miners agree and finish fast.
+    let r = SyntheticConfig {
+        n_attrs: 25,
+        n_rows: 3_000,
+        correlation: 0.5,
+        seed: 1,
+    }
+    .generate()
+    .unwrap();
+    let dm = DepMiner::algorithm_3().mine(&r);
+    let tane = Tane::new().run(&r);
+    assert_eq!(dm.fds, tane.fds);
+    assert!(!dm.fds.is_empty());
+    // The Armstrong sample is orders of magnitude smaller than r (§5.3).
+    let arm = dm
+        .real_world_armstrong(&r)
+        .expect("synthetic data has enough values");
+    assert!(
+        arm.len() * 5 < r.len(),
+        "sample {} vs {}",
+        arm.len(),
+        r.len()
+    );
+}
+
+#[test]
+fn mining_via_prelude_api_only() {
+    // The public API surface advertised in the README, exercised verbatim.
+    let schema = Schema::new(["order", "customer", "country"]).unwrap();
+    let rows = vec![
+        vec![Value::Int(1), Value::from("acme"), Value::from("FR")],
+        vec![Value::Int(2), Value::from("acme"), Value::from("FR")],
+        vec![Value::Int(3), Value::from("bolt"), Value::from("DE")],
+        vec![Value::Int(4), Value::from("bolt"), Value::from("DE")],
+    ];
+    let r = Relation::from_rows(schema, rows).unwrap();
+    let result = DepMiner::new().mine(&r);
+    // customer → country must be among the minimal FDs.
+    let customer_country = Fd::new(AttrSet::singleton(1), 2);
+    assert!(result.fds.contains(&customer_country));
+    assert!(result.fds_display().contains("customer -> country"));
+}

@@ -1,0 +1,72 @@
+//! Property tests for the hypergraph-transversal engines: agreement of the
+//! paper's levelwise Algorithm 5 with Berge's algorithm, minimality and
+//! coverage of every result, and the nihilpotence `Tr(Tr(H)) = H` that the
+//! TANE→Armstrong extension relies on (§5.1).
+
+use depminer::hypergraph::Hypergraph;
+use depminer::relation::AttrSet;
+use proptest::prelude::*;
+
+/// Random hypergraph over ≤ 7 vertices with ≤ 6 non-empty edges.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(1u32..(1 << 7), 1..=6).prop_map(|edges| {
+        Hypergraph::new(
+            7,
+            edges
+                .into_iter()
+                .map(|b| AttrSet::from_bits(b as u128))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engines_agree(h in arb_hypergraph()) {
+        prop_assert_eq!(h.min_transversals_levelwise(), h.min_transversals_berge());
+    }
+
+    #[test]
+    fn results_are_minimal_transversals(h in arb_hypergraph()) {
+        let tr = h.min_transversals_levelwise();
+        prop_assert!(!tr.is_empty(), "a non-empty simple hypergraph always has transversals");
+        for &t in &tr {
+            prop_assert!(h.is_minimal_transversal(t), "{} is not a minimal transversal", t);
+        }
+        // Pairwise incomparable (an antichain).
+        for &a in &tr {
+            for &b in &tr {
+                prop_assert!(a == b || !a.is_subset_of(b));
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_complete(h in arb_hypergraph()) {
+        // Every minimal transversal found by exhaustive search appears.
+        let tr = h.min_transversals_levelwise();
+        let support = h.vertex_support();
+        for bits in 0u32..(1 << 7) {
+            let cand = AttrSet::from_bits(bits as u128);
+            if cand.is_subset_of(support) && h.is_minimal_transversal(cand) {
+                prop_assert!(tr.contains(&cand), "missing minimal transversal {}", cand);
+            }
+        }
+    }
+
+    #[test]
+    fn nihilpotence(h in arb_hypergraph()) {
+        let trtr = h.transversal_hypergraph().transversal_hypergraph();
+        prop_assert_eq!(trtr.edges(), h.edges());
+    }
+
+    #[test]
+    fn transversal_duality_is_symmetric(h in arb_hypergraph()) {
+        // G = Tr(H) ⇒ Tr(G) = H, in both engines.
+        let g = Hypergraph::new(h.n_vertices(), h.min_transversals_berge());
+        let back = g.min_transversals_levelwise();
+        prop_assert_eq!(back, h.edges().to_vec());
+    }
+}
