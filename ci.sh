@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-2 gate (see ROADMAP.md): formatting, in-tree static analysis, tests.
+# Everything runs offline; no network access is required or attempted.
+set -eu
+
+cd "$(dirname "$0")"
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+echo "==> xtask check"
+cargo run -p xtask -q -- check
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci.sh: all gates green"

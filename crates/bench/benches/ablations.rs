@@ -10,7 +10,8 @@
 //! * **A4 `chunk_threshold`** — the memory-bounded couple buffer of §3.1 at
 //!   several thresholds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_bench::harness::{BenchmarkId, Criterion};
+use depminer_bench::{criterion_group, criterion_main};
 use depminer_core::{
     agree_sets_couples, agree_sets_couples_no_mc, agree_sets_ec, agree_sets_naive, cmax_sets,
     left_hand_sides, DepMiner, TransversalEngine,

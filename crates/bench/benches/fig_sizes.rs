@@ -9,7 +9,8 @@
 //! * the §5.1 extension cost for TANE (transversal round-trip
 //!   `cmax = Tr(lhs)` before any tuple can be built).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_bench::harness::{BenchmarkId, Criterion};
+use depminer_bench::{criterion_group, criterion_main};
 use depminer_core::DepMiner;
 use depminer_relation::SyntheticConfig;
 use depminer_tane::Tane;

@@ -2,7 +2,8 @@
 //! stripped-partition-database extraction, maximal-class computation,
 //! attribute closures, and the approximate-FD error measure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_bench::harness::{BenchmarkId, Criterion};
+use depminer_bench::{criterion_group, criterion_main};
 use depminer_fdtheory::{closure, Fd};
 use depminer_relation::{
     AttrSet, ProductScratch, StrippedPartition, StrippedPartitionDb, SyntheticConfig,

@@ -7,7 +7,8 @@
 //! *shape* (who wins where, how the gap scales with |R|, |r| and c) is what
 //! matters, per DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depminer_bench::harness::{BenchmarkId, Criterion};
+use depminer_bench::{criterion_group, criterion_main};
 use depminer_bench::{Algo, ALGOS};
 use depminer_relation::SyntheticConfig;
 

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use depminer_core::DepMiner;
 use depminer_relation::{Relation, SyntheticConfig};
 use depminer_tane::Tane;

@@ -150,14 +150,13 @@ mod tests {
 
     #[test]
     fn random_relations_match_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(31);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(31);
         for _ in 0..30 {
-            let n_attrs = rng.gen_range(2..=5);
-            let n_rows = rng.gen_range(2..=12);
+            let n_attrs = rng.gen_range(2..=5usize);
+            let n_rows = rng.gen_range(2..=12usize);
             let cols: Vec<Vec<u32>> = (0..n_attrs)
-                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..4)).collect())
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..4u32)).collect())
                 .collect();
             let r = depminer_relation::Relation::from_columns(
                 depminer_relation::Schema::synthetic(n_attrs).unwrap(),

@@ -32,6 +32,7 @@
 
 pub mod agree;
 pub mod armstrong;
+pub mod audit;
 pub mod keys;
 pub mod lhs;
 pub mod maxset;
@@ -42,12 +43,14 @@ pub use agree::{
     AgreeSetStrategy, AgreeSets,
 };
 pub use armstrong::{real_world_armstrong, real_world_exists, synthetic_armstrong};
+pub use audit::{audit_lhs, audit_lhs_for_attribute};
 pub use keys::candidate_keys_from_agree_sets;
 pub use lhs::{fd_output, left_hand_sides, TransversalEngine};
 pub use maxset::{cmax_sets, MaxSets};
 pub use stats::PhaseTimings;
 
 use depminer_fdtheory::Fd;
+use depminer_relation::invariants::{audits_enabled, enforce};
 use depminer_relation::{AttrSet, Relation, RelationError, Schema, StrippedPartitionDb};
 use std::time::Instant;
 
@@ -109,6 +112,9 @@ impl DepMiner {
         let t0 = Instant::now();
         let db = StrippedPartitionDb::from_relation(r);
         let preprocess = t0.elapsed();
+        if audits_enabled() {
+            enforce(db.validate_against(r));
+        }
         let mut result = self.mine_db(&db);
         result.timings.preprocess = preprocess;
         result
@@ -125,11 +131,17 @@ impl DepMiner {
         let t2 = Instant::now();
         let max_sets = cmax_sets(&ag);
         let t_cmax = t2.elapsed();
+        if audits_enabled() {
+            enforce(max_sets.audit(&ag));
+        }
 
         let t3 = Instant::now();
         let lhs = left_hand_sides(&max_sets, self.engine);
         let fds = fd_output(&lhs);
         let t_lhs = t3.elapsed();
+        if audits_enabled() {
+            enforce(audit::audit_lhs(&max_sets, &lhs));
+        }
 
         MiningResult {
             schema: db.schema().clone(),

@@ -230,14 +230,13 @@ mod tests {
 
     #[test]
     fn stress_against_naive_set() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(44);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(44);
         let mut trie = LhsTrie::new();
         let mut naive: Vec<AttrSet> = Vec::new();
         for _ in 0..500 {
             let x = AttrSet::from_bits(rng.gen_range(0u32..256) as u128);
-            match rng.gen_range(0..3) {
+            match rng.gen_range(0..3u32) {
                 0 => {
                     let inserted = trie.insert(x);
                     assert_eq!(inserted, !naive.contains(&x));

@@ -184,12 +184,11 @@ mod tests {
 
     #[test]
     fn random_fd_sets_produce_verified_examples() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(77);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(77);
         for trial in 0..30 {
             let n = rng.gen_range(2..=4usize);
-            let n_fds = rng.gen_range(0..=4);
+            let n_fds = rng.gen_range(0..=4usize);
             let f: Vec<Fd> = (0..n_fds)
                 .map(|_| {
                     Fd::new(

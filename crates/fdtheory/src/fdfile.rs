@@ -83,10 +83,9 @@ mod tests {
 
     #[test]
     fn parse_basic() {
-        let (schema, fds) = parse(
-            "# classic\nattributes: city street zip\ncity street -> zip\nzip -> city\n",
-        )
-        .unwrap();
+        let (schema, fds) =
+            parse("# classic\nattributes: city street zip\ncity street -> zip\nzip -> city\n")
+                .unwrap();
         assert_eq!(schema.arity(), 3);
         assert_eq!(fds.len(), 2);
         assert_eq!(fds[0], Fd::new(AttrSet::from_indices([0, 1]), 2));

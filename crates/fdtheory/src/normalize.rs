@@ -10,6 +10,7 @@ use crate::closure::closure;
 use crate::cover::canonical_cover;
 use crate::fd::Fd;
 use crate::keys::{candidate_keys, is_superkey, prime_attributes};
+use depminer_relation::fxhash::FxHashMap;
 use depminer_relation::AttrSet;
 
 /// A relation schema fragment produced by decomposition: its attributes and
@@ -155,7 +156,7 @@ pub fn is_3nf(attrs: AttrSet, fds: &[Fd]) -> bool {
     };
     // Keys of the fragment under the projected dependencies.
     let frag_attrs: Vec<usize> = attrs.iter().collect();
-    let remap: std::collections::HashMap<usize, usize> = frag_attrs
+    let remap: FxHashMap<usize, usize> = frag_attrs
         .iter()
         .enumerate()
         .map(|(i, &a)| (a, i))

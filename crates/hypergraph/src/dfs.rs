@@ -119,11 +119,10 @@ mod tests {
 
     #[test]
     fn random_hypergraphs_agree_with_both_engines() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(606);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(606);
         for _ in 0..60 {
-            let n_edges = rng.gen_range(1..=6);
+            let n_edges = rng.gen_range(1..=6usize);
             let edges: Vec<AttrSet> = (0..n_edges)
                 .map(|_| AttrSet::from_bits(rng.gen_range(1u32..(1 << 7)) as u128))
                 .collect();

@@ -58,13 +58,13 @@ fn apriori_gen(survivors: &[AttrSet]) -> Vec<AttrSet> {
     // differing bits are both greater than every shared bit... The standard
     // prefix formulation: drop each set's maximum element; join pairs with
     // equal prefixes.
-    use std::collections::{HashMap, HashSet};
-    let mut by_prefix: HashMap<AttrSet, Vec<usize>> = HashMap::new();
+    use depminer_relation::fxhash::{FxHashMap, FxHashSet};
+    let mut by_prefix: FxHashMap<AttrSet, Vec<usize>> = FxHashMap::default();
     for (idx, &s) in survivors.iter().enumerate() {
         let max = s.max_attr().expect("survivors are non-empty");
         by_prefix.entry(s.without(max)).or_default().push(idx);
     }
-    let survivor_set: HashSet<AttrSet> = survivors.iter().copied().collect();
+    let survivor_set: FxHashSet<AttrSet> = survivors.iter().copied().collect();
     let mut out: Vec<AttrSet> = Vec::new();
     for (_, idxs) in by_prefix {
         for (k, &i) in idxs.iter().enumerate() {

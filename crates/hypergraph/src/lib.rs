@@ -19,6 +19,7 @@ pub mod berge;
 pub mod dfs;
 pub mod levelwise;
 
+use depminer_relation::invariants::{audits_enabled, enforce, InvariantError};
 use depminer_relation::{retain_minimal, AttrSet};
 use std::fmt;
 
@@ -110,19 +111,65 @@ impl Hypergraph {
     /// Minimal transversals via the paper's levelwise algorithm
     /// (Algorithm 5). See [`levelwise::min_transversals`].
     pub fn min_transversals_levelwise(&self) -> Vec<AttrSet> {
-        levelwise::min_transversals(self)
+        let tr = levelwise::min_transversals(self);
+        if audits_enabled() {
+            enforce(self.audit_transversals(&tr));
+        }
+        tr
     }
 
     /// Minimal transversals via Berge's incremental algorithm.
     /// See [`berge::min_transversals`].
     pub fn min_transversals_berge(&self) -> Vec<AttrSet> {
-        berge::min_transversals(self)
+        let tr = berge::min_transversals(self);
+        if audits_enabled() {
+            enforce(self.audit_transversals(&tr));
+        }
+        tr
     }
 
     /// Minimal transversals via FastFDs-style ordered depth-first search.
     /// See [`dfs::min_transversals`].
     pub fn min_transversals_dfs(&self) -> Vec<AttrSet> {
-        dfs::min_transversals(self)
+        let tr = dfs::min_transversals(self);
+        if audits_enabled() {
+            enforce(self.audit_transversals(&tr));
+        }
+        tr
+    }
+
+    /// Audits an engine's output: `tr` must be sorted and duplicate-free,
+    /// non-empty, and every member must hit every edge *and* be minimal
+    /// (checked with the private-edge criterion, independent of how the
+    /// engine found it). The empty hypergraph's unique answer is `{∅}`.
+    ///
+    /// Every engine wrapper runs this when audits are enabled (debug/test
+    /// builds, or the `invariants` feature).
+    pub fn audit_transversals(&self, tr: &[AttrSet]) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("Transversals", d));
+        if !tr.windows(2).all(|w| w[0] < w[1]) {
+            return err(format!("output is not sorted/deduplicated: {tr:?}"));
+        }
+        if self.is_empty() {
+            if tr != [AttrSet::empty()] {
+                return err(format!(
+                    "Tr of the empty hypergraph must be {{∅}}, got {tr:?}"
+                ));
+            }
+            return Ok(());
+        }
+        if tr.is_empty() {
+            return err("a non-empty simple hypergraph always has a minimal transversal".into());
+        }
+        for &t in tr {
+            if !self.is_transversal(t) {
+                return err(format!("{t} misses an edge"));
+            }
+            if !self.is_minimal_transversal(t) {
+                return err(format!("{t} is a transversal but not minimal"));
+            }
+        }
+        Ok(())
     }
 
     /// The transversal hypergraph `Tr(H)` as a new [`Hypergraph`]
@@ -188,6 +235,28 @@ mod tests {
     fn vertex_support() {
         let h = Hypergraph::new(10, vec![s(&[1, 3]), s(&[3, 7])]);
         assert_eq!(h.vertex_support(), s(&[1, 3, 7]));
+    }
+
+    #[test]
+    fn transversal_audit_rejects_corrupted_output() {
+        let h = Hypergraph::new(3, vec![s(&[0, 1]), s(&[1, 2])]);
+        let good = h.min_transversals_levelwise();
+        h.audit_transversals(&good).unwrap();
+        // A set that misses the {1,2} edge.
+        let e = h.audit_transversals(&[s(&[0])]).unwrap_err();
+        assert!(e.detail.contains("misses an edge"), "{e}");
+        // A transversal that is not minimal.
+        let e = h.audit_transversals(&[s(&[0, 1, 2])]).unwrap_err();
+        assert!(e.detail.contains("not minimal"), "{e}");
+        // Unsorted / duplicated output.
+        let e = h.audit_transversals(&[s(&[0, 2]), s(&[1])]).unwrap_err();
+        assert!(e.detail.contains("sorted"), "{e}");
+        // A non-empty hypergraph never has zero minimal transversals.
+        assert!(h.audit_transversals(&[]).is_err());
+        // The empty hypergraph's unique answer is {∅}.
+        let empty = Hypergraph::new(3, vec![]);
+        empty.audit_transversals(&[AttrSet::empty()]).unwrap();
+        assert!(empty.audit_transversals(&[s(&[0])]).is_err());
     }
 
     #[test]

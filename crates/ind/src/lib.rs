@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use depminer_relation::{FxHashMap, Relation, Value};
+use depminer_relation::{FxHashMap, FxHashSet, Relation, Value};
 use std::fmt;
 
 /// A unary inclusion dependency between columns of (possibly different)
@@ -133,8 +133,7 @@ pub fn unary_inds(relations: &[&Relation]) -> Vec<Ind> {
 
 /// Checks one IND directly (reference implementation / spot checks).
 pub fn holds(lhs_rel: &Relation, lhs_attr: usize, rhs_rel: &Relation, rhs_attr: usize) -> bool {
-    use std::collections::HashSet;
-    let rhs_values: HashSet<&Value> = rhs_rel.column(rhs_attr).distinct_values().iter().collect();
+    let rhs_values: FxHashSet<&Value> = rhs_rel.column(rhs_attr).distinct_values().iter().collect();
     lhs_rel
         .column(lhs_attr)
         .distinct_values()
@@ -268,14 +267,13 @@ mod tests {
 
     #[test]
     fn matches_direct_check_on_random_data() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(12);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(12);
         for _ in 0..20 {
-            let n_attrs = rng.gen_range(2..=4);
-            let n_rows = rng.gen_range(1..=10);
+            let n_attrs = rng.gen_range(2..=4usize);
+            let n_rows = rng.gen_range(1..=10usize);
             let cols: Vec<Vec<i64>> = (0..n_attrs)
-                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..4)).collect())
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..4u64) as i64).collect())
                 .collect();
             let names: Vec<String> = (0..n_attrs).map(|i| format!("c{i}")).collect();
             let r = rel(&names.iter().map(String::as_str).collect::<Vec<_>>(), cols);

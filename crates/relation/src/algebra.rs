@@ -7,7 +7,7 @@
 
 use crate::attrset::AttrSet;
 use crate::error::RelationError;
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -21,7 +21,7 @@ use crate::value::Value;
 pub fn project(r: &Relation, attrs: AttrSet) -> Result<Relation, RelationError> {
     let cols: Vec<usize> = attrs.iter().filter(|&a| a < r.arity()).collect();
     let schema = Schema::new(cols.iter().map(|&a| r.schema().name(a)))?;
-    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
     let mut rows: Vec<Vec<Value>> = Vec::new();
     for t in 0..r.len() {
         let key: Vec<u32> = cols.iter().map(|&a| r.column(a).code(t)).collect();
@@ -70,7 +70,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
         index.entry(key).or_default().push(t);
     }
 
-    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
     let mut rows: Vec<Vec<Value>> = Vec::new();
     for lt in 0..left.len() {
         let key: Vec<&Value> = shared.iter().map(|&(la, _)| left.value(lt, la)).collect();
@@ -101,10 +101,10 @@ pub fn same_instance(left: &Relation, right: &Relation) -> bool {
     else {
         return false;
     };
-    let lrows: std::collections::HashSet<Vec<&Value>> = (0..left.len())
+    let lrows: FxHashSet<Vec<&Value>> = (0..left.len())
         .map(|t| (0..left.arity()).map(|a| left.value(t, a)).collect())
         .collect();
-    let rrows: std::collections::HashSet<Vec<&Value>> = (0..right.len())
+    let rrows: FxHashSet<Vec<&Value>> = (0..right.len())
         .map(|t| perm.iter().map(|&ra| right.value(t, ra)).collect())
         .collect();
     lrows == rrows

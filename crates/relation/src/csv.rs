@@ -64,9 +64,8 @@ fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>, RelationError> 
             _ => {
                 // Unquoted field: read until comma or end of line.
                 loop {
-                    match chars.peek() {
+                    match chars.next() {
                         Some(',') => {
-                            chars.next();
                             fields.push(std::mem::take(&mut cur));
                             break;
                         }
@@ -74,7 +73,7 @@ fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>, RelationError> 
                             fields.push(std::mem::take(&mut cur));
                             break;
                         }
-                        Some(_) => cur.push(chars.next().unwrap()),
+                        Some(c) => cur.push(c),
                     }
                 }
                 if chars.peek().is_none() && line.ends_with(',') {

@@ -12,10 +12,9 @@
 //! EXPERIMENTS.md is reproducible bit-for-bit.
 
 use crate::error::RelationError;
+use crate::prng::Prng;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for synthetic relation generation (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +61,7 @@ impl SyntheticConfig {
             )));
         }
         let schema = Schema::synthetic(self.n_attrs)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let domain = self.domain_size();
         let columns: Vec<Vec<u32>> = (0..self.n_attrs)
             .map(|_| (0..self.n_rows).map(|_| rng.gen_range(0..domain)).collect())

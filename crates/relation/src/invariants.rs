@@ -1,0 +1,343 @@
+//! Runtime invariant audits for the relational substrate.
+//!
+//! The mining pipeline silently relies on structural invariants — stripped
+//! classes have ≥ 2 tuples, partition classes are disjoint, the stripped
+//! partition database agrees with the relation it was extracted from. This
+//! module makes those invariants *checkable*: every validator returns
+//! `Result<(), InvariantError>` so tests can assert that corrupted
+//! structures are rejected, and the algorithms call them through
+//! [`audits_enabled`] so the checks run in every debug/test build (and in
+//! release builds when the `invariants` cargo feature is on) without
+//! taxing production profiles.
+//!
+//! Higher layers add their own audits on top of these: agree-set/maxset
+//! duality in `depminer-core`, transversal audits in
+//! `depminer-hypergraph`, and the end-to-end `MiningResult::audit`.
+
+use crate::attrset::AttrSet;
+use crate::partition::{Partition, StrippedPartition};
+use crate::relation::Relation;
+use crate::spdb::StrippedPartitionDb;
+use std::fmt;
+
+/// A violated structural invariant, with a human-readable description of
+/// what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantError {
+    /// Which structure failed its audit (e.g. `"StrippedPartition"`).
+    pub structure: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl InvariantError {
+    /// Builds an error for `structure` with the given detail message.
+    pub fn new(structure: &'static str, detail: impl Into<String>) -> Self {
+        InvariantError {
+            structure,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant violated in {}: {}",
+            self.structure, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// `true` when runtime audits should run: always under `debug_assertions`
+/// (so every test build audits automatically), and in release builds when
+/// the `invariants` feature is enabled.
+#[inline]
+pub const fn audits_enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "invariants"))
+}
+
+/// Panics with the audit failure when `check` is `Err`. The algorithms
+/// call this behind [`audits_enabled`]; tests call the validators directly
+/// and assert on the `Result`.
+#[inline]
+pub fn enforce(check: Result<(), InvariantError>) {
+    if let Err(e) = check {
+        panic!("{e}"); // lint: allow(no-panic) — audit failures are fatal by design
+    }
+}
+
+impl Partition {
+    /// Audits a full partition of an `n_rows`-tuple relation: every class
+    /// is non-empty and sorted ascending, classes are pairwise disjoint,
+    /// and together they cover each tuple id `0..n_rows` exactly once.
+    pub fn validate(&self, n_rows: usize) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("Partition", d));
+        let mut seen = vec![false; n_rows];
+        let mut covered = 0usize;
+        for (i, class) in self.classes.iter().enumerate() {
+            if class.is_empty() {
+                return err(format!("class {i} is empty"));
+            }
+            if !class.windows(2).all(|w| w[0] < w[1]) {
+                return err(format!("class {i} is not sorted ascending: {class:?}"));
+            }
+            for &t in class {
+                let t = t as usize;
+                if t >= n_rows {
+                    return err(format!("tuple id {t} out of range for |r| = {n_rows}"));
+                }
+                if seen[t] {
+                    return err(format!("tuple id {t} appears in two classes"));
+                }
+                seen[t] = true;
+                covered += 1;
+            }
+        }
+        if covered != n_rows {
+            return err(format!("classes cover {covered} of {n_rows} tuples"));
+        }
+        Ok(())
+    }
+}
+
+impl StrippedPartition {
+    /// Audits a stripped partition: every class has ≥ 2 tuples, classes
+    /// are sorted and pairwise disjoint, tuple ids are in range, and the
+    /// cached `total` equals the sum of class sizes.
+    pub fn validate(&self) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("StrippedPartition", d));
+        let n_rows = self.n_rows();
+        let mut seen = vec![false; n_rows];
+        let mut total = 0usize;
+        for (i, class) in self.classes().iter().enumerate() {
+            if class.len() < 2 {
+                return err(format!(
+                    "stripped class {i} has {} tuple(s); classes must have >= 2",
+                    class.len()
+                ));
+            }
+            if !class.windows(2).all(|w| w[0] < w[1]) {
+                return err(format!("class {i} is not sorted ascending: {class:?}"));
+            }
+            for &t in class {
+                let t = t as usize;
+                if t >= n_rows {
+                    return err(format!("tuple id {t} out of range for |r| = {n_rows}"));
+                }
+                if seen[t] {
+                    return err(format!("tuple id {t} appears in two classes"));
+                }
+                seen[t] = true;
+            }
+            total += class.len();
+        }
+        if total != self.total_tuples() {
+            return err(format!(
+                "cached total {} != sum of class sizes {total}",
+                self.total_tuples()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl StrippedPartitionDb {
+    /// Audits internal consistency: one structurally valid stripped
+    /// partition per schema attribute, all over the same `n_rows`.
+    pub fn validate(&self) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("StrippedPartitionDb", d));
+        if self.partitions().len() != self.arity() {
+            return err(format!(
+                "{} partitions for arity {}",
+                self.partitions().len(),
+                self.arity()
+            ));
+        }
+        for (a, p) in self.partitions().iter().enumerate() {
+            if p.n_rows() != self.n_rows() {
+                return err(format!(
+                    "partition for attribute {a} built over {} rows, database says {}",
+                    p.n_rows(),
+                    self.n_rows()
+                ));
+            }
+            p.validate().map_err(|e| {
+                InvariantError::new(
+                    "StrippedPartitionDb",
+                    format!("attribute {a}: {}", e.detail),
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Audits the database against the relation it claims to describe:
+    /// every per-attribute stripped partition must equal the one
+    /// recomputed from `r`'s columns.
+    pub fn validate_against(&self, r: &Relation) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("StrippedPartitionDb", d));
+        if self.arity() != r.arity() {
+            return err(format!(
+                "arity {} vs relation arity {}",
+                self.arity(),
+                r.arity()
+            ));
+        }
+        if self.n_rows() != r.len() {
+            return err(format!(
+                "n_rows {} vs relation size {}",
+                self.n_rows(),
+                r.len()
+            ));
+        }
+        self.validate()?;
+        for a in 0..r.arity() {
+            let fresh = StrippedPartition::for_attribute(r, a);
+            if normalized(self.partition(a)) != normalized(&fresh) {
+                return err(format!(
+                    "partition for attribute {a} disagrees with one recomputed from the relation"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Classes with inner and outer order normalized, for order-insensitive
+/// partition comparison.
+fn normalized(p: &StrippedPartition) -> Vec<Vec<u32>> {
+    let mut classes: Vec<Vec<u32>> = p.classes().to_vec();
+    for c in &mut classes {
+        c.sort_unstable();
+    }
+    classes.sort();
+    classes
+}
+
+/// Audits that `fd_lhs → rhs` actually holds in `r` by replaying tuple
+/// comparisons: no two tuples may agree on `fd_lhs` yet differ on `rhs`.
+/// Used by the end-to-end `MiningResult::audit` in `depminer-core`.
+pub fn validate_fd_holds(r: &Relation, lhs: AttrSet, rhs: usize) -> Result<(), InvariantError> {
+    let sp = StrippedPartition::for_set(r, lhs);
+    for class in sp.classes() {
+        let codes = r.column(rhs).codes();
+        let first = codes[class[0] as usize];
+        if let Some(&t) = class[1..].iter().find(|&&t| codes[t as usize] != first) {
+            return Err(InvariantError::new(
+                "MinedFd",
+                format!(
+                    "mined FD {lhs} -> attribute {rhs} is violated by tuples {} and {t}",
+                    class[0]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::schema::Schema;
+
+    #[test]
+    fn well_formed_structures_pass() {
+        let r = datasets::employee();
+        for a in 0..r.arity() {
+            Partition::for_attribute(&r, a).validate(r.len()).unwrap();
+            StrippedPartition::for_attribute(&r, a).validate().unwrap();
+        }
+        let db = StrippedPartitionDb::from_relation(&r);
+        db.validate().unwrap();
+        db.validate_against(&r).unwrap();
+    }
+
+    #[test]
+    fn partition_rejects_overlapping_classes() {
+        let p = Partition {
+            classes: vec![vec![0, 1], vec![1, 2]],
+        };
+        let e = p.validate(3).unwrap_err();
+        assert!(e.detail.contains("two classes"), "{e}");
+    }
+
+    #[test]
+    fn partition_rejects_uncovered_tuples() {
+        let p = Partition {
+            classes: vec![vec![0, 1]],
+        };
+        assert!(p.validate(3).is_err());
+    }
+
+    #[test]
+    fn partition_rejects_out_of_range_ids() {
+        let p = Partition {
+            classes: vec![vec![0, 7]],
+        };
+        let e = p.validate(2).unwrap_err();
+        assert!(e.detail.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn stripped_partition_rejects_singleton_class() {
+        // from_classes debug_asserts, so corrupt through Partition::strip's
+        // contract instead: craft classes directly via from_classes in a
+        // release-style path. Here we build a valid one and check the
+        // validator catches a hand-made singleton via Partition.
+        let p = Partition {
+            classes: vec![vec![0], vec![1, 2]],
+        };
+        // Partition itself is fine (covers everything)…
+        p.validate(3).unwrap();
+        // …but treating its classes as stripped classes must fail.
+        let sp = StrippedPartition::from_classes_unchecked(p.classes, 3);
+        let e = sp.validate().unwrap_err();
+        assert!(e.detail.contains(">= 2"), "{e}");
+    }
+
+    #[test]
+    fn stripped_partition_rejects_bad_total() {
+        let sp = StrippedPartition::from_classes_unchecked(vec![vec![0, 1]], 3);
+        sp.validate().unwrap();
+        let corrupt = sp.with_total_for_test(5);
+        let e = corrupt.validate().unwrap_err();
+        assert!(e.detail.contains("cached total"), "{e}");
+    }
+
+    #[test]
+    fn spdb_rejects_partition_from_wrong_relation() {
+        let r = datasets::employee();
+        let other = crate::relation::Relation::from_columns(
+            Schema::synthetic(r.arity()).unwrap(),
+            (0..r.arity()).map(|a| vec![a as u32; r.len()]).collect(),
+        )
+        .unwrap();
+        let db = StrippedPartitionDb::from_relation(&other);
+        assert!(db.validate().is_ok());
+        let e = db.validate_against(&r).unwrap_err();
+        assert!(e.detail.contains("disagrees"), "{e}");
+    }
+
+    #[test]
+    fn fd_replay_detects_violation() {
+        let r = datasets::employee();
+        // empnum → depnum does not hold (employee 1 serves two departments).
+        assert!(validate_fd_holds(&r, AttrSet::from_indices([0]), 1).is_err());
+        // depnum → depname does hold.
+        validate_fd_holds(&r, AttrSet::from_indices([1]), 3).unwrap();
+    }
+
+    #[test]
+    fn enforce_panics_on_error() {
+        let result = std::panic::catch_unwind(|| {
+            enforce(Err(InvariantError::new("Test", "boom")));
+        });
+        assert!(result.is_err());
+        enforce(Ok(())); // and is silent on success
+    }
+}

@@ -28,7 +28,9 @@ pub mod datasets;
 pub mod error;
 pub mod fxhash;
 pub mod generator;
+pub mod invariants;
 pub mod partition;
+pub mod prng;
 pub mod relation;
 pub mod sample;
 pub mod schema;
@@ -41,7 +43,9 @@ pub use attrset::{retain_maximal, retain_minimal, AttrSet, MAX_ATTRS};
 pub use error::RelationError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use generator::{benchmark_cell, SyntheticConfig};
+pub use invariants::InvariantError;
 pub use partition::{Partition, ProductScratch, StrippedPartition};
+pub use prng::Prng;
 pub use relation::{Column, Relation};
 pub use sample::sample;
 pub use schema::Schema;

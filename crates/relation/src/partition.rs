@@ -37,9 +37,9 @@ impl Partition {
 
     /// Computes `π_X` for an attribute set by hashing projections.
     pub fn for_set(r: &Relation, x: AttrSet) -> Partition {
-        use std::collections::HashMap;
         let cols: Vec<&[u32]> = x.iter().map(|a| r.column(a).codes()).collect();
-        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        let mut groups: crate::fxhash::FxHashMap<Vec<u32>, Vec<u32>> =
+            crate::fxhash::FxHashMap::default();
         for t in 0..r.len() {
             let key: Vec<u32> = cols.iter().map(|c| c[t]).collect();
             groups.entry(key).or_default().push(t as u32);
@@ -86,6 +86,29 @@ impl StrippedPartition {
             total,
             n_rows,
         }
+    }
+
+    /// Builds a stripped partition **without** the `from_classes` checks.
+    ///
+    /// Exists so tests can construct deliberately corrupted partitions and
+    /// prove the [`StrippedPartition::validate`] audit rejects them; never
+    /// use it on real data paths.
+    #[doc(hidden)]
+    pub fn from_classes_unchecked(classes: Vec<Vec<u32>>, n_rows: usize) -> Self {
+        let total = classes.iter().map(Vec::len).sum();
+        StrippedPartition {
+            classes,
+            total,
+            n_rows,
+        }
+    }
+
+    /// Returns a copy with the cached `total` overwritten — test-only, for
+    /// exercising the cache-consistency audit.
+    #[doc(hidden)]
+    pub fn with_total_for_test(mut self, total: usize) -> Self {
+        self.total = total;
+        self
     }
 
     /// Computes `π̂_A` for a single attribute directly from the column codes.
@@ -197,7 +220,11 @@ impl StrippedPartition {
         }
         // Deterministic ordering regardless of hash iteration order.
         new_classes.sort_unstable_by_key(|c| c.first().copied());
-        StrippedPartition::from_classes(new_classes, self.n_rows)
+        let product = StrippedPartition::from_classes(new_classes, self.n_rows);
+        if crate::invariants::audits_enabled() {
+            crate::invariants::enforce(product.validate());
+        }
+        product
     }
 
     /// Convenience wrapper allocating a fresh scratch buffer.

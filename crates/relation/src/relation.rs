@@ -9,9 +9,9 @@
 
 use crate::attrset::AttrSet;
 use crate::error::RelationError;
+use crate::fxhash::{fx_map_with_capacity, fx_set_with_capacity, FxHashMap};
 use crate::schema::Schema;
 use crate::value::Value;
-use std::collections::HashMap;
 use std::fmt;
 
 /// One dictionary-encoded column.
@@ -109,7 +109,7 @@ impl Relation {
         let n_rows = rows.len();
         let mut columns = Vec::with_capacity(arity);
         for a in 0..arity {
-            let mut interner: HashMap<&Value, u32> = HashMap::new();
+            let mut interner: FxHashMap<&Value, u32> = FxHashMap::default();
             let mut codes = Vec::with_capacity(n_rows);
             let mut dict: Vec<Value> = Vec::new();
             for row in &rows {
@@ -165,7 +165,7 @@ impl Relation {
         let columns = raw
             .into_iter()
             .map(|col| {
-                let mut remap: HashMap<u32, u32> = HashMap::new();
+                let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
                 let mut dict = Vec::new();
                 let codes = col
                     .into_iter()
@@ -260,7 +260,7 @@ impl Relation {
     /// Runs in O(|r| · |X|) using a hash map keyed by the X-projection.
     /// `X = ∅` means `A` must be constant across the relation.
     pub fn satisfies(&self, lhs: AttrSet, rhs: usize) -> bool {
-        let mut seen: HashMap<Vec<u32>, u32> = HashMap::with_capacity(self.n_rows);
+        let mut seen: FxHashMap<Vec<u32>, u32> = fx_map_with_capacity(self.n_rows);
         let lhs_cols: Vec<&Column> = lhs.iter().map(|a| &self.columns[a]).collect();
         let rhs_col = &self.columns[rhs];
         for t in 0..self.n_rows {
@@ -286,11 +286,15 @@ impl Relation {
     pub fn distinct_projections(&self, x: AttrSet) -> usize {
         match x.len() {
             0 => usize::from(self.n_rows > 0),
-            1 => self.columns[x.min_attr().unwrap()].distinct_count(),
+            1 => {
+                let a = x
+                    .min_attr()
+                    .expect("len() == 1 implies a minimum attribute");
+                self.columns[a].distinct_count()
+            }
             _ => {
                 let cols: Vec<&Column> = x.iter().map(|a| &self.columns[a]).collect();
-                let mut seen: std::collections::HashSet<Vec<u32>> =
-                    std::collections::HashSet::with_capacity(self.n_rows);
+                let mut seen = fx_set_with_capacity::<Vec<u32>>(self.n_rows);
                 for t in 0..self.n_rows {
                     seen.insert(cols.iter().map(|c| c.code(t)).collect());
                 }

@@ -6,10 +6,9 @@
 //! (and the reason real-world Armstrong relations, which satisfy *exactly*
 //! `dep(r)`, are the better sample for dba work, §4).
 
+use crate::prng::Prng;
 use crate::relation::Relation;
 use crate::value::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniform sample without replacement of `k` tuples (all of `r` when
 /// `k ≥ |r|`), deterministic under `seed`. Preserves the schema; tuple
@@ -20,7 +19,7 @@ pub fn sample(r: &Relation, k: usize, seed: u64) -> Relation {
         return r.clone();
     }
     // Floyd's algorithm: k distinct indices in O(k) expected time.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut chosen = std::collections::BTreeSet::new();
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);

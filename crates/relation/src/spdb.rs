@@ -25,11 +25,15 @@ impl StrippedPartitionDb {
         let partitions = (0..r.arity())
             .map(|a| StrippedPartition::for_attribute(r, a))
             .collect();
-        StrippedPartitionDb {
+        let db = StrippedPartitionDb {
             schema: r.schema().clone(),
             partitions,
             n_rows: r.len(),
+        };
+        if crate::invariants::audits_enabled() {
+            crate::invariants::enforce(db.validate());
         }
+        db
     }
 
     /// Builds a database from pre-computed stripped partitions.

@@ -114,14 +114,13 @@ mod tests {
 
     #[test]
     fn nihilpotence_round_trip_on_random_relations() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(1234);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(1234);
         for _ in 0..20 {
-            let n_attrs = rng.gen_range(2..=5);
-            let n_rows = rng.gen_range(2..=10);
+            let n_attrs = rng.gen_range(2..=5usize);
+            let n_rows = rng.gen_range(2..=10usize);
             let cols: Vec<Vec<u32>> = (0..n_attrs)
-                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3)).collect())
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3u32)).collect())
                 .collect();
             let r = depminer_relation::Relation::from_columns(
                 depminer_relation::Schema::synthetic(n_attrs).unwrap(),

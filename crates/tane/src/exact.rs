@@ -366,19 +366,18 @@ mod tests {
 
     #[test]
     fn pruning_ablations_preserve_output() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(555);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(555);
         let variants = [
             Tane::new().without_rhs_pruning(),
             Tane::new().without_key_pruning(),
             Tane::new().without_rhs_pruning().without_key_pruning(),
         ];
         for trial in 0..25 {
-            let n_attrs = rng.gen_range(2..=5);
-            let n_rows = rng.gen_range(1..=12);
+            let n_attrs = rng.gen_range(2..=5usize);
+            let n_rows = rng.gen_range(1..=12usize);
             let cols: Vec<Vec<u32>> = (0..n_attrs)
-                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3)).collect())
+                .map(|_| (0..n_rows).map(|_| rng.gen_range(0..3u32)).collect())
                 .collect();
             let r = depminer_relation::Relation::from_columns(
                 depminer_relation::Schema::synthetic(n_attrs).unwrap(),
@@ -400,12 +399,11 @@ mod tests {
 
     #[test]
     fn random_relations_match_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        use depminer_relation::Prng;
+        let mut rng = Prng::seed_from_u64(99);
         for trial in 0..40 {
-            let n_attrs = rng.gen_range(2..=5);
-            let n_rows = rng.gen_range(1..=12);
+            let n_attrs = rng.gen_range(2..=5usize);
+            let n_rows = rng.gen_range(1..=12usize);
             let domain = rng.gen_range(1..=3u32);
             let cols: Vec<Vec<u32>> = (0..n_attrs)
                 .map(|_| (0..n_rows).map(|_| rng.gen_range(0..=domain)).collect())

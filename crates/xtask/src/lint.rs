@@ -1,0 +1,694 @@
+//! The lint engine: a dependency-free, line/token-level static-analysis
+//! pass over the workspace's own sources.
+//!
+//! Five project-specific rules (see DESIGN.md "Correctness tooling"):
+//!
+//! | rule             | what it flags                                          |
+//! |------------------|--------------------------------------------------------|
+//! | `no-panic`       | `.unwrap()`, `.expect("")`, `panic!` in library code   |
+//! | `default-hasher` | `HashMap`/`HashSet` with the default (SipHash) hasher  |
+//! | `unordered-iter` | hash-map iteration feeding ordered output, no sort     |
+//! | `attr-count`     | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
+//! | `header-hygiene` | `lib.rs` missing the `#![warn(missing_docs)]` header   |
+//!
+//! Scope: test code is exempt — files under `tests/`, `benches/`,
+//! `examples/`, `fixtures/`, and in-file `#[cfg(test)]` modules. Any
+//! remaining finding can be suppressed with a `// lint: allow(<rule>)`
+//! comment on the same line or the line above; the suppression should say
+//! why in a neighbouring comment.
+//!
+//! The pass is deliberately token-level: it scrubs comments and string
+//! literals per line, then matches identifier-bounded tokens. That keeps
+//! it dependency-free and fast, at the price of being a heuristic — the
+//! escape hatch exists for the false positives.
+
+use std::fmt;
+
+/// Every lint rule's machine name, in reporting order.
+pub const RULES: [&str; 5] = [
+    "no-panic",
+    "default-hasher",
+    "unordered-iter",
+    "attr-count",
+    "header-hygiene",
+];
+
+/// One finding: a rule violated at a file:line location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Machine name of the violated rule (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Serializes the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"path":{},"line":{},"rule":{},"message":{}}}"#,
+            json_string(&self.path),
+            self.line,
+            json_string(self.rule),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// JSON string literal with the escapes the spec requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `true` for paths whose code is exempt from the code-level rules
+/// (everything except `header-hygiene`).
+fn path_is_test_code(path: &str) -> bool {
+    path.split(['/', '\\'])
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+/// One line of source after scrubbing, plus what was scrubbed away.
+struct ScrubbedLine {
+    /// The line with comments removed and string/char literal contents
+    /// blanked (quotes kept), so token matches can't fire inside text.
+    code: String,
+    /// The comment text removed from this line, if any.
+    comment: String,
+}
+
+/// Scrubs a whole file line by line, tracking block comments and
+/// (conservatively) multi-line string literals.
+fn scrub(source: &str) -> Vec<ScrubbedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment.extend(&bytes[i..]);
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    // Blank the string contents, keep the quotes — and keep
+                    // emptiness: `expect("")` detection needs to tell an
+                    // empty literal from a blanked non-empty one.
+                    code.push('"');
+                    i += 1;
+                    let mut had_content = false;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => {
+                                had_content = true;
+                                i += 2;
+                            }
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {
+                                had_content = true;
+                                i += 1;
+                            }
+                        }
+                    }
+                    if had_content {
+                        code.push('s');
+                    }
+                    code.push('"');
+                }
+                '\'' => {
+                    // Char literal or lifetime. `'a'` / `'\n'` are
+                    // literals; `'a` (lifetime) has no closing quote
+                    // nearby — copy it through unchanged.
+                    let close = if bytes.get(i + 1) == Some(&'\\') {
+                        bytes.get(i + 3) == Some(&'\'')
+                    } else {
+                        bytes.get(i + 2) == Some(&'\'')
+                    };
+                    if close {
+                        code.push_str("' '");
+                        i += if bytes.get(i + 1) == Some(&'\\') {
+                            4
+                        } else {
+                            3
+                        };
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(ScrubbedLine { code, comment });
+    }
+    out
+}
+
+/// `true` when `line`'s comment (or the previous line's) carries a
+/// `lint: allow(<rule>)` marker.
+fn allowed(lines: &[ScrubbedLine], idx: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    let here = lines[idx].comment.contains(&marker);
+    let above = idx > 0 && {
+        let prev = &lines[idx - 1];
+        prev.code.trim().is_empty() && prev.comment.contains(&marker)
+    };
+    here || above
+}
+
+/// Finds `token` in `code` at identifier boundaries (the characters
+/// around the match are not `[A-Za-z0-9_]`). Returns `true` on a hit.
+fn has_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+/// Marks lines inside `#[cfg(test)]` items (by brace matching from the
+/// item that follows the attribute). Returns one flag per line.
+fn test_mod_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Skip to the first `{` at or after the attribute, then brace
+            // match to the end of the item.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                in_test[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Rule `no-panic`: `.unwrap()`, `.expect("")`, and `panic!` are banned in
+/// library code. `.expect("a real message")` is allowed — the message is
+/// the justification.
+fn check_no_panic(path: &str, lines: &[ScrubbedLine], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "no-panic") {
+            continue;
+        }
+        let mut hit = |message: &str| {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "no-panic",
+                message: message.to_string(),
+            })
+        };
+        if line.code.contains(".unwrap()") {
+            hit("`.unwrap()` in library code; return a Result or use `.expect(\"why\")`");
+        }
+        if line.code.contains(".expect(\"\")") {
+            hit("`.expect(\"\")` with an empty message; say why the value must exist");
+        }
+        if has_token(&line.code, "panic!") {
+            hit("`panic!` in library code; return an error instead");
+        }
+    }
+}
+
+/// Rule `default-hasher`: `HashMap`/`HashSet` tokens mean the SipHash
+/// default hasher; library code must use the in-tree `FxHashMap` /
+/// `FxHashSet` (identifier-bounded, so the `Fx` types don't match).
+fn check_default_hasher(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "default-hasher") {
+            continue;
+        }
+        for token in ["HashMap", "HashSet"] {
+            if has_token(&line.code, token) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "default-hasher",
+                    message: format!(
+                        "`{token}` uses the default SipHash hasher; use `Fx{token}` from depminer_relation::fxhash"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `unordered-iter`: a `for` loop over a hash container that pushes
+/// into a result collection, with no `.sort` in sight, yields
+/// nondeterministic output order.
+///
+/// Heuristic: pass 1 collects `let` bindings whose declared type or
+/// initializer names a hash type; pass 2 finds `for … in` loops over
+/// those variables (or over direct `.keys()`/`.values()` calls on them)
+/// whose body contains `.push(`/`.extend(`, and requires a `.sort` within
+/// the loop body or the 12 lines after it.
+fn check_unordered_iter(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    // Pass 1: hash-typed variable names.
+    let mut hashy: Vec<String> = Vec::new();
+    for line in lines {
+        let code = line.code.trim_start();
+        let Some(rest) = code
+            .strip_prefix("let mut ")
+            .or_else(|| code.strip_prefix("let "))
+        else {
+            continue;
+        };
+        let is_hash_ty = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"]
+            .iter()
+            .any(|t| has_token(code, t));
+        if !is_hash_ty {
+            continue;
+        }
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !hashy.contains(&name) {
+            hashy.push(name);
+        }
+    }
+    if hashy.is_empty() {
+        return;
+    }
+
+    // Pass 2: loops over those variables.
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "unordered-iter") {
+            continue;
+        }
+        let code = line.code.trim_start();
+        if !code.starts_with("for ") {
+            continue;
+        }
+        let Some(in_pos) = code.find(" in ") else {
+            continue;
+        };
+        let iterated = &code[in_pos + 4..];
+        if !is_hash_iteration(iterated, &hashy) {
+            continue;
+        }
+        // Loop body extent by brace matching.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = idx;
+        for (j, l) in lines.iter().enumerate().skip(idx) {
+            for c in l.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                end = j;
+                break;
+            }
+            end = j;
+        }
+        let body = &lines[idx..=end];
+        let pushes = body
+            .iter()
+            .any(|l| l.code.contains(".push(") || l.code.contains(".extend("));
+        if !pushes {
+            continue;
+        }
+        let window_end = (end + 13).min(lines.len());
+        let sorted = lines[idx..window_end]
+            .iter()
+            .any(|l| l.code.contains(".sort"));
+        if !sorted {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "unordered-iter",
+                message: "hash-container iteration feeds an ordered collection with no `.sort` nearby; output order is nondeterministic".to_string(),
+            });
+        }
+    }
+}
+
+/// `true` when a `for`-loop head iterates a hash container *directly*
+/// (`for x in &map`, `for k in map.keys()`, …). Indexing into a map
+/// (`map[&k].iter()`) iterates the *value*, whose order is the value
+/// type's business, so it does not count.
+fn is_hash_iteration(iterated: &str, hashy: &[String]) -> bool {
+    let mut expr = iterated.trim();
+    for prefix in ["&mut ", "&"] {
+        if let Some(rest) = expr.strip_prefix(prefix) {
+            expr = rest;
+        }
+    }
+    let expr = expr.trim_start_matches('(').trim_end();
+    let expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
+    for name in hashy {
+        let Some(rest) = expr.strip_prefix(name.as_str()) else {
+            continue;
+        };
+        if rest.is_empty() {
+            return true;
+        }
+        const ITERS: [&str; 7] = [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".drain()",
+            ".into_iter()",
+        ];
+        if ITERS.contains(&rest) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule `attr-count`: a hardcoded `128` on a line talking about
+/// attributes or arity should be `AttrSet::MAX_ATTRS`.
+fn check_attr_count(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "attr-count") {
+            continue;
+        }
+        let code = &line.code;
+        if !has_token(code, "128") || code.contains("MAX_ATTRS") {
+            continue;
+        }
+        let lower = code.to_ascii_lowercase();
+        if lower.contains("attr") || lower.contains("arity") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "attr-count",
+                message: "hardcoded attribute-count literal 128; use `AttrSet::MAX_ATTRS`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `header-hygiene`: every `lib.rs` must carry
+/// `#![warn(missing_docs)]` (or the stricter `#![deny(warnings)]`) near
+/// the top, so undocumented public items fail `cargo test` under the
+/// workspace's warning policy.
+fn check_header_hygiene(path: &str, lines: &[ScrubbedLine], out: &mut Vec<Diagnostic>) {
+    let file = path.rsplit(['/', '\\']).next().unwrap_or(path);
+    if file != "lib.rs" {
+        return;
+    }
+    // Scan the header: doc comments, inner attributes, and blank lines.
+    // The marker must appear before the first real item.
+    let mut ok = false;
+    for l in lines {
+        let code = l.code.trim();
+        if code.contains("#![warn(missing_docs)]") || code.contains("#![deny(warnings)]") {
+            ok = true;
+            break;
+        }
+        if !code.is_empty() && !code.starts_with("#!") {
+            break;
+        }
+    }
+    if !ok {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: "header-hygiene",
+            message:
+                "lib.rs must declare `#![warn(missing_docs)]` in its header, before the first item"
+                    .to_string(),
+        });
+    }
+}
+
+/// Lints one file. `path` decides scope (test paths only get
+/// `header-hygiene`); `source` is the file contents.
+pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lines = scrub(source);
+    let mut out = Vec::new();
+    check_header_hygiene(path, &lines, &mut out);
+    if !path_is_test_code(path) {
+        let in_test = test_mod_lines(&lines);
+        check_no_panic(path, &lines, &in_test, &mut out);
+        check_default_hasher(path, &lines, &in_test, &mut out);
+        check_unordered_iter(path, &lines, &in_test, &mut out);
+        check_attr_count(path, &lines, &in_test, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    const HEADER: &str = "#![warn(missing_docs)]\n";
+
+    fn lint(body: &str) -> Vec<Diagnostic> {
+        lint_file(LIB, &format!("{HEADER}{body}"))
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_expect_empty_and_panic() {
+        let diags = lint(
+            "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"\");\n    panic!(\"boom\");\n}\n",
+        );
+        assert_eq!(rules(&diags), ["no-panic", "no-panic", "no-panic"]);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("unwrap"));
+        assert!(diags[1].message.contains("empty message"));
+        assert!(diags[2].message.contains("panic!"));
+    }
+
+    #[test]
+    fn no_panic_allows_expect_with_message_and_unwrap_or() {
+        let diags = lint(
+            "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"config is validated at startup\") + x.unwrap_or(0) + x.unwrap_or_default()\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn no_panic_skips_strings_comments_and_test_mods() {
+        let diags = lint(
+            "// a comment saying .unwrap() is bad\nconst S: &str = \"panic! .unwrap()\";\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn no_panic_escape_hatch() {
+        let same_line = lint("fn f() {\n    opt.unwrap(); // lint: allow(no-panic)\n}\n");
+        assert!(same_line.is_empty(), "{same_line:?}");
+        let line_above =
+            lint("fn f() {\n    // checked above; lint: allow(no-panic)\n    opt.unwrap();\n}\n");
+        assert!(line_above.is_empty(), "{line_above:?}");
+        // The marker names a specific rule; other rules still fire.
+        let wrong_rule = lint("fn f() {\n    opt.unwrap(); // lint: allow(default-hasher)\n}\n");
+        assert_eq!(rules(&wrong_rule), ["no-panic"]);
+    }
+
+    #[test]
+    fn default_hasher_flags_std_types_not_fx() {
+        let diags = lint(
+            "use std::collections::HashMap;\nuse depminer_relation::fxhash::FxHashMap;\nfn f() {\n    let a: HashMap<u32, u32> = HashMap::new(); // two hits, one line\n    let b = FxHashMap::<u32, u32>::default();\n    let _ = (a, b);\n}\n",
+        );
+        assert_eq!(rules(&diags), ["default-hasher", "default-hasher"]);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 5);
+    }
+
+    #[test]
+    fn default_hasher_escape_hatch_for_explicit_hasher() {
+        let diags = lint(
+            "// explicit hasher: lint: allow(default-hasher)\npub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_iter_flags_unsorted_push() {
+        let diags = lint(
+            "fn f() -> Vec<u32> {\n    let mut seen = FxHashSet::default();\n    seen.insert(3u32);\n    let mut out = Vec::new();\n    for x in &seen {\n        out.push(*x);\n    }\n    out\n}\n",
+        );
+        assert_eq!(rules(&diags), ["unordered-iter"]);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn unordered_iter_accepts_sorted_output() {
+        let diags = lint(
+            "fn f() -> Vec<u32> {\n    let mut seen = FxHashSet::default();\n    seen.insert(3u32);\n    let mut out = Vec::new();\n    for x in &seen {\n        out.push(*x);\n    }\n    out.sort_unstable();\n    out\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_iter_ignores_order_insensitive_loops() {
+        // Counting into another hash map is order-independent.
+        let diags = lint(
+            "fn f(seen: &FxHashSet<u32>) -> u32 {\n    let seen = seen;\n    let mut total = 0;\n    for x in seen.iter() {\n        total += x;\n    }\n    total\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn attr_count_flags_literal_128_near_attrs() {
+        let diags = lint("fn f(n_attrs: usize) -> bool {\n    n_attrs <= 128\n}\n");
+        assert_eq!(rules(&diags), ["attr-count"]);
+        let fixed = lint("fn f(n_attrs: usize) -> bool {\n    n_attrs <= AttrSet::MAX_ATTRS\n}\n");
+        assert!(fixed.is_empty(), "{fixed:?}");
+        // `u128` the type is not the literal 128.
+        let ty = lint(
+            "fn f(bits: u128, n_attrs: usize) -> u32 {\n    (bits as u32) + n_attrs as u32\n}\n",
+        );
+        assert!(ty.is_empty(), "{ty:?}");
+    }
+
+    #[test]
+    fn header_hygiene_requires_missing_docs_in_lib() {
+        let missing = lint_file(LIB, "//! Docs.\npub fn f() {}\n");
+        assert_eq!(rules(&missing), ["header-hygiene"]);
+        let present = lint_file(LIB, "//! Docs.\n#![warn(missing_docs)]\npub fn f() {}\n");
+        assert!(present.is_empty(), "{present:?}");
+        // Only lib.rs is held to the header rule.
+        let other = lint_file("crates/demo/src/util.rs", "pub fn f() {}\n");
+        assert!(other.is_empty(), "{other:?}");
+    }
+
+    #[test]
+    fn test_paths_only_get_header_hygiene() {
+        let diags = lint_file(
+            "tests/foo.rs",
+            "fn t() {\n    Some(1).unwrap();\n    let m: HashMap<u32, u32> = HashMap::new();\n    let _ = m;\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_serialize_to_json() {
+        let d = Diagnostic {
+            path: "crates/demo/src/lib.rs".into(),
+            line: 7,
+            rule: "no-panic",
+            message: "a \"quoted\" message".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"path":"crates/demo/src/lib.rs","line":7,"rule":"no-panic","message":"a \"quoted\" message"}"#
+        );
+        assert_eq!(
+            d.to_string(),
+            "crates/demo/src/lib.rs:7: [no-panic] a \"quoted\" message"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! `cargo xtask`-style developer tooling for the depminer workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p xtask -- check [--json] [PATH...]
+//! ```
+//!
+//! `check` runs the in-tree static-analysis pass (see [`lint`]) over the
+//! workspace sources — or over the given files/directories only — and
+//! exits non-zero if any diagnostic is produced. `--json` switches the
+//! report to a machine-readable JSON array.
+
+mod lint;
+
+use lint::Diagnostic;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => {
+            eprintln!("usage: cargo run -p xtask -- check [--json] [PATH...]");
+            eprintln!("rules: {}", lint::RULES.join(", "));
+            return if args.next().is_none() && std::env::args().len() == 1 {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (try `check`)");
+            return ExitCode::from(2);
+        }
+    }
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("xtask: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = workspace_root();
+    if paths.is_empty() {
+        paths.push(root.clone());
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        collect_rust_files(p, &mut files);
+    }
+    files.sort();
+    files.dedup();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut read_errors = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(file) {
+            Ok(source) => diags.extend(lint::lint_file(&rel, &source)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                read_errors += 1;
+            }
+        }
+    }
+
+    if json {
+        let body: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("xtask check: {} files, clean", files.len());
+        } else {
+            println!(
+                "xtask check: {} files, {} diagnostic(s)",
+                files.len(),
+                diags.len()
+            );
+        }
+    }
+    if diags.is_empty() && read_errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: walk up from the manifest dir (or cwd) to the
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output and VCS dirs.
+fn collect_rust_files(path: &Path, out: &mut Vec<PathBuf>) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if matches!(name, "target" | ".git" | "node_modules") {
+        return;
+    }
+    if path.is_dir() {
+        let Ok(entries) = std::fs::read_dir(path) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            collect_rust_files(&entry.path(), out);
+        }
+    } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+        out.push(path.to_path_buf());
+    }
+}

@@ -5,46 +5,48 @@
 
 use depminer::fdtheory::{equivalent, is_armstrong_for, mine_minimal_fds};
 use depminer::prelude::*;
-use proptest::prelude::*;
+use depminer::relation::Prng;
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=5, 2usize..=12, 1u32..=4).prop_flat_map(|(n_attrs, n_rows, domain)| {
-        proptest::collection::vec(proptest::collection::vec(0..=domain, n_rows), n_attrs).prop_map(
-            move |cols| {
-                Relation::from_columns(Schema::synthetic(n_attrs).expect("valid"), cols)
-                    .expect("columns are rectangular")
-            },
-        )
-    })
+mod common;
+use common::random_relation;
+
+const CASES: usize = 48;
+
+fn arb_relation(rng: &mut Prng) -> Relation {
+    random_relation(rng, 2..=5, 2..=12, 1..=4)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn synthetic_armstrong_satisfies_exactly_dep_r(r in arb_relation()) {
+#[test]
+fn synthetic_armstrong_satisfies_exactly_dep_r() {
+    let mut rng = Prng::seed_from_u64(0xA501);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let result = DepMiner::new().mine(&r);
         let arm = result.synthetic_armstrong();
-        prop_assert_eq!(arm.len(), result.armstrong_size());
-        prop_assert!(is_armstrong_for(&arm, &result.fds));
+        assert_eq!(arm.len(), result.armstrong_size());
+        assert!(is_armstrong_for(&arm, &result.fds));
         // Re-mining the Armstrong relation yields an equivalent cover.
         let remined = mine_minimal_fds(&arm);
-        prop_assert!(equivalent(&remined, &result.fds));
+        assert!(equivalent(&remined, &result.fds));
         // For minimal covers of the same dep(r) the minimal FDs coincide.
-        prop_assert_eq!(remined, result.fds);
+        assert_eq!(remined, result.fds);
     }
+}
 
-    #[test]
-    fn real_world_armstrong_when_it_exists(r in arb_relation()) {
+#[test]
+fn real_world_armstrong_when_it_exists() {
+    let mut rng = Prng::seed_from_u64(0xA502);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let result = DepMiner::new().mine(&r);
         match result.real_world_armstrong(&r) {
             Ok(arm) => {
-                prop_assert_eq!(arm.len(), result.armstrong_size());
-                prop_assert!(is_armstrong_for(&arm, &result.fds));
+                assert_eq!(arm.len(), result.armstrong_size());
+                assert!(is_armstrong_for(&arm, &result.fds));
                 // Definition 1, condition 3: values from the active domain.
                 for t in 0..arm.len() {
                     for a in 0..arm.arity() {
-                        prop_assert!(
+                        assert!(
                             r.column(a).distinct_values().contains(arm.value(t, a)),
                             "value not drawn from the initial relation"
                         );
@@ -58,29 +60,37 @@ proptest! {
                     let needed = max.iter().filter(|x| !x.contains(a)).count() + 1;
                     r.column(a).distinct_count() < needed
                 });
-                prop_assert!(violated, "construction refused although Prop. 1 holds");
+                assert!(violated, "construction refused although Prop. 1 holds");
             }
         }
     }
+}
 
-    #[test]
-    fn armstrong_size_is_max_plus_one(r in arb_relation()) {
+#[test]
+fn armstrong_size_is_max_plus_one() {
+    let mut rng = Prng::seed_from_u64(0xA503);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let result = DepMiner::new().mine(&r);
-        prop_assert_eq!(result.armstrong_size(), result.max_union().len() + 1);
+        assert_eq!(result.armstrong_size(), result.max_union().len() + 1);
         // And it never exceeds the trivial bound 2^|R|.
-        prop_assert!(result.armstrong_size() <= 1 << r.arity());
+        assert!(result.armstrong_size() <= 1 << r.arity());
     }
+}
 
-    #[test]
-    fn tane_extension_armstrong_equals_depminer_armstrong(r in arb_relation()) {
+#[test]
+fn tane_extension_armstrong_equals_depminer_armstrong() {
+    let mut rng = Prng::seed_from_u64(0xA504);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let dm = DepMiner::new().mine(&r);
         let tane = Tane::new().run(&r);
         // Same MAX(dep(r)) ⇒ same synthetic Armstrong relation.
-        prop_assert_eq!(dm.max_union(), tane.max_union());
+        assert_eq!(dm.max_union(), tane.max_union());
         let a1 = dm.synthetic_armstrong();
         let a2 = tane.synthetic_armstrong();
-        prop_assert_eq!(a1.len(), a2.len());
-        prop_assert!(is_armstrong_for(&a2, &dm.fds));
+        assert_eq!(a1.len(), a2.len());
+        assert!(is_armstrong_for(&a2, &dm.fds));
     }
 }
 

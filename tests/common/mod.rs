@@ -1,0 +1,46 @@
+//! Shared deterministic case generators for the integration tests.
+//!
+//! The suite used to rely on `proptest`; to keep the workspace buildable
+//! with zero network access it now drives the same properties with the
+//! in-tree [`Prng`]. Every generator is purely a function of the caller's
+//! generator state, so failures reproduce exactly from the test's seed.
+#![allow(dead_code)] // each test binary uses its own subset of helpers
+
+use depminer::prelude::*;
+use depminer::relation::Prng;
+use std::ops::RangeInclusive;
+
+/// A random relation with attribute count, row count and per-column domain
+/// size drawn from the given ranges — the same shape distribution the old
+/// proptest strategies produced.
+pub fn random_relation(
+    rng: &mut Prng,
+    attrs: RangeInclusive<usize>,
+    rows: RangeInclusive<usize>,
+    domain: RangeInclusive<u32>,
+) -> Relation {
+    let n_attrs = rng.gen_range(attrs);
+    let n_rows = rng.gen_range(rows);
+    let domain = rng.gen_range(domain);
+    let cols: Vec<Vec<u32>> = (0..n_attrs)
+        .map(|_| (0..n_rows).map(|_| rng.gen_range(0..=domain)).collect())
+        .collect();
+    Relation::from_columns(Schema::synthetic(n_attrs).expect("valid"), cols)
+        .expect("columns are rectangular")
+}
+
+/// A random attribute set over `n` attributes (uniform over all 2ⁿ subsets).
+pub fn random_set(rng: &mut Prng, n: usize) -> AttrSet {
+    AttrSet::from_bits(rng.gen_range(0u64..(1 << n)) as u128)
+}
+
+/// A random non-trivial FD universe element over `n` attributes.
+pub fn random_fd(rng: &mut Prng, n: usize) -> depminer::fdtheory::Fd {
+    depminer::fdtheory::Fd::new(random_set(rng, n), rng.gen_range(0..n))
+}
+
+/// A random FD set of up to `max_fds` dependencies over `n` attributes.
+pub fn random_fds(rng: &mut Prng, n: usize, max_fds: usize) -> Vec<depminer::fdtheory::Fd> {
+    let count = rng.gen_range(0..=max_fds);
+    (0..count).map(|_| random_fd(rng, n)).collect()
+}

@@ -5,8 +5,12 @@
 
 use depminer::fdtheory::{equivalent, mine_minimal_fds};
 use depminer::prelude::*;
-use depminer::relation::StrippedPartitionDb;
-use proptest::prelude::*;
+use depminer::relation::{Prng, StrippedPartitionDb};
+
+mod common;
+use common::random_relation;
+
+const CASES: usize = 64;
 
 #[test]
 fn all_builtin_datasets_cross_validate() {
@@ -43,22 +47,15 @@ fn antichain_armstrong_is_itself_shaped() {
 
 /// A random small relation: up to 6 attributes, up to 14 tuples, small
 /// domains so FDs and agreements actually occur.
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=6, 0usize..=14, 1u32..=4).prop_flat_map(|(n_attrs, n_rows, domain)| {
-        proptest::collection::vec(proptest::collection::vec(0..=domain, n_rows), n_attrs).prop_map(
-            move |cols| {
-                Relation::from_columns(Schema::synthetic(n_attrs).expect("valid"), cols)
-                    .expect("columns are rectangular")
-            },
-        )
-    })
+fn arb_relation(rng: &mut Prng) -> Relation {
+    random_relation(rng, 2..=6, 0..=14, 1..=4)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_miners_agree_with_oracle(r in arb_relation()) {
+#[test]
+fn all_miners_agree_with_oracle() {
+    let mut rng = Prng::seed_from_u64(0xC501);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let oracle = mine_minimal_fds(&r);
         let miners = [
             DepMiner::algorithm_2(None),
@@ -66,81 +63,119 @@ proptest! {
             DepMiner::algorithm_3(),
             DepMiner::new().with_engine(TransversalEngine::Berge),
             DepMiner::new().with_engine(TransversalEngine::Dfs),
-            DepMiner { strategy: AgreeSetStrategy::Naive, engine: TransversalEngine::Levelwise },
+            DepMiner {
+                strategy: AgreeSetStrategy::Naive,
+                engine: TransversalEngine::Levelwise,
+            },
         ];
         for miner in miners {
             let fds = miner.mine(&r).fds;
-            prop_assert_eq!(&fds, &oracle, "{:?} diverges from oracle", miner);
+            assert_eq!(fds, oracle, "{miner:?} diverges from oracle");
         }
         let tane = Tane::new().run(&r).fds;
-        prop_assert_eq!(&tane, &oracle, "TANE diverges from oracle");
+        assert_eq!(tane, oracle, "TANE diverges from oracle");
         let fdep = Fdep::new().run(&r).fds;
-        prop_assert_eq!(&fdep, &oracle, "FDEP diverges from oracle");
+        assert_eq!(fdep, oracle, "FDEP diverges from oracle");
     }
+}
 
-    #[test]
-    fn agree_set_strategies_coincide(r in arb_relation()) {
+#[test]
+fn agree_set_strategies_coincide() {
+    let mut rng = Prng::seed_from_u64(0xC502);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let db = StrippedPartitionDb::from_relation(&r);
         let naive = depminer::depminer::agree_sets_naive(&r);
         let alg2 = depminer::depminer::agree_sets_couples(&db, None);
         let alg2_chunked = depminer::depminer::agree_sets_couples(&db, Some(2));
         let alg2_nomc = depminer::depminer::agree_sets_couples_no_mc(&db, None);
         let alg3 = depminer::depminer::agree_sets_ec(&db);
-        prop_assert_eq!(&alg2.sets, &naive.sets);
-        prop_assert_eq!(&alg2_chunked.sets, &naive.sets);
-        prop_assert_eq!(&alg2_nomc.sets, &naive.sets);
-        prop_assert_eq!(&alg3.sets, &naive.sets);
-        prop_assert_eq!(alg3.constant_attrs, naive.constant_attrs);
+        assert_eq!(alg2.sets, naive.sets);
+        assert_eq!(alg2_chunked.sets, naive.sets);
+        assert_eq!(alg2_nomc.sets, naive.sets);
+        assert_eq!(alg3.sets, naive.sets);
+        assert_eq!(alg3.constant_attrs, naive.constant_attrs);
     }
+}
 
-    #[test]
-    fn discovered_fds_hold_and_are_minimal(r in arb_relation()) {
+#[test]
+fn discovered_fds_hold_and_are_minimal() {
+    let mut rng = Prng::seed_from_u64(0xC503);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         for fd in DepMiner::new().mine(&r).fds {
-            prop_assert!(!fd.is_trivial());
-            prop_assert!(r.satisfies(fd.lhs, fd.rhs), "{} does not hold", fd);
+            assert!(!fd.is_trivial());
+            assert!(r.satisfies(fd.lhs, fd.rhs), "{fd} does not hold");
             for b in fd.lhs.iter() {
-                prop_assert!(
+                assert!(
                     !r.satisfies(fd.lhs.without(b), fd.rhs),
-                    "{} is not minimal", fd
+                    "{fd} is not minimal"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn every_holding_fd_is_implied(r in arb_relation()) {
+#[test]
+fn every_holding_fd_is_implied() {
+    let mut rng = Prng::seed_from_u64(0xC504);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // The mined cover must imply every FD that holds in r (spot-checked
         // on all single-attribute lhs and a few pairs).
         let fds = DepMiner::new().mine(&r).fds;
         let n = r.arity();
         for a in 0..n {
             for b in 0..n {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let lhs = AttrSet::singleton(b);
                 if r.satisfies(lhs, a) {
-                    prop_assert!(
+                    assert!(
                         depminer::fdtheory::implies(&fds, Fd::new(lhs, a)),
-                        "mined cover misses {} -> {}", b, a
+                        "mined cover misses {b} -> {a}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn tane_lhs_round_trip_matches_depminer_maxsets(r in arb_relation()) {
+#[test]
+fn tane_lhs_round_trip_matches_depminer_maxsets() {
+    let mut rng = Prng::seed_from_u64(0xC505);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // Nihilpotence in anger: max sets recovered from TANE's FDs via
         // Tr(lhs) equal Dep-Miner's directly computed max sets.
         let tane = Tane::new().run(&r);
         let dm = DepMiner::new().mine(&r);
         let rebuilt = depminer::tane::max_sets_from_fds(&tane.fds, r.arity());
-        prop_assert_eq!(rebuilt, dm.max_sets.max);
+        assert_eq!(rebuilt, dm.max_sets.max);
     }
+}
 
-    #[test]
-    fn mined_covers_are_equivalent_across_engines(r in arb_relation()) {
+#[test]
+fn mined_covers_are_equivalent_across_engines() {
+    let mut rng = Prng::seed_from_u64(0xC506);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let a = DepMiner::new().mine(&r).fds;
-        let b = DepMiner::algorithm_3().with_engine(TransversalEngine::Berge).mine(&r).fds;
-        prop_assert!(equivalent(&a, &b));
+        let b = DepMiner::algorithm_3()
+            .with_engine(TransversalEngine::Berge)
+            .mine(&r)
+            .fds;
+        assert!(equivalent(&a, &b));
+    }
+}
+
+#[test]
+fn mining_results_pass_their_own_audit() {
+    // The end-to-end invariant audit must accept every genuine result.
+    let mut rng = Prng::seed_from_u64(0xC507);
+    for _ in 0..16 {
+        let r = arb_relation(&mut rng);
+        DepMiner::new().mine(&r).audit(&r).unwrap();
     }
 }

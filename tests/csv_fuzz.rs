@@ -3,68 +3,92 @@
 //! mining results must be invariant under the round-trip.
 
 use depminer::prelude::*;
-use depminer::relation::csv;
-use proptest::prelude::*;
+use depminer::relation::{csv, Prng};
 
-/// Field text without control characters (the writer does not support
-/// embedded newlines; everything else must survive).
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        2 => any::<i64>().prop_map(Value::Int),
-        1 => Just(Value::Null),
-        3 => "[a-zA-Z0-9 ,\"'éü_-]{0,12}".prop_map(|s| {
+const CASES: usize = 128;
+
+/// Characters allowed in random text fields: letters, digits, separators,
+/// quotes and some unicode — the writer does not support embedded
+/// newlines; everything else must survive.
+const FIELD_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Q', 'Z', '0', '5', '9', ' ', ',', '"', '\'', 'é', 'ü', '_', '-',
+];
+
+fn random_value(rng: &mut Prng) -> Value {
+    match rng.gen_range(0..6u32) {
+        0 | 1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Null,
+        _ => {
+            let len = rng.gen_range(0..=12usize);
+            let s: String = (0..len)
+                .map(|_| FIELD_CHARS[rng.gen_range(0..FIELD_CHARS.len())])
+                .collect();
             // The parser classifies digit-only strings as Int and empty as
             // Null; normalize the expectation accordingly by re-parsing.
             Value::parse(&s)
-        }),
-    ]
+        }
+    }
 }
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (1usize..=5, 0usize..=8).prop_flat_map(|(n_attrs, n_rows)| {
-        proptest::collection::vec(proptest::collection::vec(arb_value(), n_attrs), n_rows).prop_map(
-            move |rows| {
-                Relation::from_rows(Schema::synthetic(n_attrs).expect("valid"), rows)
-                    .expect("rows are rectangular")
-            },
-        )
-    })
+fn arb_relation(rng: &mut Prng) -> Relation {
+    let n_attrs = rng.gen_range(1..=5usize);
+    let n_rows = rng.gen_range(0..=8usize);
+    let rows: Vec<Vec<Value>> = (0..n_rows)
+        .map(|_| (0..n_attrs).map(|_| random_value(rng)).collect())
+        .collect();
+    Relation::from_rows(Schema::synthetic(n_attrs).expect("valid"), rows)
+        .expect("rows are rectangular")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn roundtrip_preserves_values(r in arb_relation()) {
+#[test]
+fn roundtrip_preserves_values() {
+    let mut rng = Prng::seed_from_u64(0xC4F1);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let mut buf = Vec::new();
         csv::write_csv(&r, &mut buf).expect("write");
         let back = csv::read_csv(buf.as_slice()).expect("read back what we wrote");
-        prop_assert_eq!(back.len(), r.len());
-        prop_assert_eq!(back.arity(), r.arity());
+        assert_eq!(back.len(), r.len());
+        assert_eq!(back.arity(), r.arity());
         for t in 0..r.len() {
             for a in 0..r.arity() {
-                prop_assert_eq!(
-                    back.value(t, a), r.value(t, a),
-                    "cell ({}, {}) changed", t, a
-                );
+                assert_eq!(back.value(t, a), r.value(t, a), "cell ({t}, {a}) changed");
             }
         }
     }
+}
 
-    #[test]
-    fn roundtrip_preserves_mining(r in arb_relation()) {
+#[test]
+fn roundtrip_preserves_mining() {
+    let mut rng = Prng::seed_from_u64(0xC4F2);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let mut buf = Vec::new();
         csv::write_csv(&r, &mut buf).expect("write");
         let back = csv::read_csv(buf.as_slice()).expect("read");
-        prop_assert_eq!(
+        assert_eq!(
             DepMiner::new().mine(&back).fds,
             DepMiner::new().mine(&r).fds
         );
     }
+}
 
-    #[test]
-    fn reader_never_panics_on_arbitrary_input(text in "[ -~\n]{0,200}") {
-        // Any byte soup either parses or errors; no panic, no UB.
+#[test]
+fn reader_never_panics_on_arbitrary_input() {
+    // Any byte soup (printable ASCII + newlines) either parses or errors;
+    // no panic, no UB.
+    let mut rng = Prng::seed_from_u64(0xC4F3);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..=200usize);
+        let text: String = (0..len)
+            .map(|_| {
+                if rng.gen_range(0..16u32) == 0 {
+                    '\n'
+                } else {
+                    rng.gen_range(0x20u32..0x7F) as u8 as char
+                }
+            })
+            .collect();
         let _ = csv::read_csv(text.as_bytes());
     }
 }

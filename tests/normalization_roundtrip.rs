@@ -7,8 +7,10 @@
 
 use depminer::fdtheory::{bcnf_decompose, canonical_cover, is_bcnf, synthesize_3nf};
 use depminer::prelude::*;
-use depminer::relation::{datasets, natural_join, project, same_instance, Relation};
-use proptest::prelude::*;
+use depminer::relation::{datasets, natural_join, project, same_instance, Prng, Relation};
+
+mod common;
+use common::random_relation;
 
 /// Joins materialized fragments back together and compares with `r`.
 fn verify_lossless(r: &Relation, fragments: &[AttrSet]) {
@@ -79,42 +81,33 @@ fn payroll_decomposes_along_the_transitive_chain() {
     verify_lossless(&r, &frags.iter().map(|d| d.attrs).collect::<Vec<_>>());
 }
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=5, 2usize..=10, 1u32..=3).prop_flat_map(|(n_attrs, n_rows, domain)| {
-        proptest::collection::vec(proptest::collection::vec(0..=domain, n_rows), n_attrs).prop_map(
-            move |cols| {
-                Relation::from_columns(Schema::synthetic(n_attrs).expect("valid"), cols)
-                    .expect("columns are rectangular")
-            },
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn decompositions_are_lossless_on_random_relations(r in arb_relation()) {
+#[test]
+fn decompositions_are_lossless_on_random_relations() {
+    let mut rng = Prng::seed_from_u64(0x3FF1);
+    for _ in 0..32 {
+        let r = random_relation(&mut rng, 2..=5, 2..=10, 1..=3);
         let fds = DepMiner::new().mine(&r).fds;
         let cover = canonical_cover(&fds);
-        let bcnf: Vec<AttrSet> =
-            bcnf_decompose(r.arity(), &cover).into_iter().map(|d| d.attrs).collect();
+        let bcnf: Vec<AttrSet> = bcnf_decompose(r.arity(), &cover)
+            .into_iter()
+            .map(|d| d.attrs)
+            .collect();
         let mut frags = bcnf.iter();
         let mut acc = project(&r, *frags.next().expect("non-empty")).expect("projectable");
         for &f in frags {
-            acc = natural_join(&acc, &project(&r, f).expect("projectable"))
-                .expect("joinable");
+            acc = natural_join(&acc, &project(&r, f).expect("projectable")).expect("joinable");
         }
-        prop_assert!(same_instance(&acc, &r), "BCNF decomposition lossy");
+        assert!(same_instance(&acc, &r), "BCNF decomposition lossy");
 
-        let tnf: Vec<AttrSet> =
-            synthesize_3nf(r.arity(), &fds).into_iter().map(|d| d.attrs).collect();
+        let tnf: Vec<AttrSet> = synthesize_3nf(r.arity(), &fds)
+            .into_iter()
+            .map(|d| d.attrs)
+            .collect();
         let mut frags = tnf.iter();
         let mut acc = project(&r, *frags.next().expect("non-empty")).expect("projectable");
         for &f in frags {
-            acc = natural_join(&acc, &project(&r, f).expect("projectable"))
-                .expect("joinable");
+            acc = natural_join(&acc, &project(&r, f).expect("projectable")).expect("joinable");
         }
-        prop_assert!(same_instance(&acc, &r), "3NF synthesis lossy");
+        assert!(same_instance(&acc, &r), "3NF synthesis lossy");
     }
 }

@@ -2,21 +2,15 @@
 //! machinery relies on.
 
 use depminer::prelude::*;
-use depminer::relation::{Partition, ProductScratch, StrippedPartition};
-use proptest::prelude::*;
+use depminer::relation::{Partition, Prng, ProductScratch, StrippedPartition};
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=5, 0usize..=16, 1u32..=4).prop_flat_map(|(n_attrs, n_rows, domain)| {
-        proptest::collection::vec(proptest::collection::vec(0..=domain, n_rows), n_attrs)
-            .prop_map(move |cols| {
-                Relation::from_columns(Schema::synthetic(n_attrs).expect("valid"), cols)
-                    .expect("columns are rectangular")
-            })
-    })
-}
+mod common;
+use common::{random_relation, random_set};
 
-fn arb_set(n: usize) -> impl Strategy<Value = AttrSet> {
-    (0u32..(1 << n)).prop_map(|b| AttrSet::from_bits(b as u128))
+const CASES: usize = 64;
+
+fn arb_relation(rng: &mut Prng) -> Relation {
+    random_relation(rng, 2..=5, 0..=16, 1..=4)
 }
 
 fn norm(p: &StrippedPartition) -> Vec<Vec<u32>> {
@@ -28,11 +22,11 @@ fn norm(p: &StrippedPartition) -> Vec<Vec<u32>> {
     classes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn product_computes_union_partition(r in arb_relation()) {
+#[test]
+fn product_computes_union_partition() {
+    let mut rng = Prng::seed_from_u64(0x9A01);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // π̂_X · π̂_Y = π̂_{X∪Y}, for all singleton X, Y and some composites.
         let n = r.arity();
         let mut scratch = ProductScratch::new(r.len());
@@ -42,29 +36,36 @@ proptest! {
                 let py = StrippedPartition::for_attribute(&r, y);
                 let prod = px.product_with(&py, &mut scratch);
                 let direct = StrippedPartition::for_set(&r, AttrSet::from_indices([x, y]));
-                prop_assert_eq!(norm(&prod), norm(&direct));
+                assert_eq!(norm(&prod), norm(&direct));
             }
         }
     }
+}
 
-    #[test]
-    fn product_is_commutative(r in arb_relation()) {
+#[test]
+fn product_is_commutative() {
+    let mut rng = Prng::seed_from_u64(0x9A02);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let n = r.arity();
         for x in 0..n {
             for y in (x + 1)..n {
                 let px = StrippedPartition::for_attribute(&r, x);
                 let py = StrippedPartition::for_attribute(&r, y);
-                prop_assert_eq!(norm(&px.product(&py)), norm(&py.product(&px)));
+                assert_eq!(norm(&px.product(&py)), norm(&py.product(&px)));
             }
         }
     }
+}
 
-    #[test]
-    fn refinement_is_monotone(r in arb_relation()) {
+#[test]
+fn refinement_is_monotone() {
+    let mut rng = Prng::seed_from_u64(0x9A03);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // X ⊆ Y ⇒ π_Y refines π_X: every Y-class sits inside an X-class,
         // hence err(Y) ≤ err(X) and |π_Y| ≥ |π_X|.
         let n = r.arity();
-        proptest::prop_assume!(n >= 2);
         let err = |x: AttrSet| {
             let p = StrippedPartition::for_set(&r, x);
             p.total_tuples() - p.num_classes()
@@ -73,61 +74,70 @@ proptest! {
             let x = AttrSet::from_bits(bits as u128);
             for a in 0..n {
                 if !x.contains(a) {
-                    prop_assert!(err(x.with(a)) <= err(x), "err grew when refining");
+                    assert!(err(x.with(a)) <= err(x), "err grew when refining");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn fd_holds_iff_error_is_preserved(r in arb_relation(), x in arb_set(5), a in 0usize..5) {
+#[test]
+fn fd_holds_iff_error_is_preserved() {
+    let mut rng = Prng::seed_from_u64(0x9A04);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // The TANE validity criterion: X → A iff err(X) = err(X ∪ {A}).
         let n = r.arity();
-        let x = x.intersection(AttrSet::full(n));
-        let a = a % n;
+        let x = random_set(&mut rng, 5).intersection(AttrSet::full(n));
+        let a = rng.gen_range(0..5usize) % n;
         if x.contains(a) {
-            return Ok(());
+            continue;
         }
         let err = |s: AttrSet| {
             let p = StrippedPartition::for_set(&r, s);
             p.total_tuples() - p.num_classes()
         };
-        prop_assert_eq!(
+        assert_eq!(
             err(x) == err(x.with(a)),
             r.satisfies(x, a),
-            "partition-error criterion diverges from definition for {} -> {}", x, a
+            "partition-error criterion diverges from definition for {x} -> {a}"
         );
     }
+}
 
-    #[test]
-    fn stripping_preserves_class_structure(r in arb_relation()) {
+#[test]
+fn stripping_preserves_class_structure() {
+    let mut rng = Prng::seed_from_u64(0x9A05);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         // π̂_X = π_X minus singletons; totals line up.
         let n = r.arity();
         for a in 0..n {
             let full = Partition::for_attribute(&r, a);
             let stripped = StrippedPartition::for_attribute(&r, a);
             let singletons = full.classes.iter().filter(|c| c.len() == 1).count();
-            prop_assert_eq!(full.num_classes(), stripped.num_classes() + singletons);
-            prop_assert_eq!(
-                stripped.total_tuples() + singletons,
-                r.len()
-            );
-            prop_assert_eq!(stripped.full_num_classes(), full.num_classes());
+            assert_eq!(full.num_classes(), stripped.num_classes() + singletons);
+            assert_eq!(stripped.total_tuples() + singletons, r.len());
+            assert_eq!(stripped.full_num_classes(), full.num_classes());
         }
     }
+}
 
-    #[test]
-    fn superkey_iff_empty_stripped_partition(r in arb_relation(), x in arb_set(5)) {
+#[test]
+fn superkey_iff_empty_stripped_partition() {
+    let mut rng = Prng::seed_from_u64(0x9A06);
+    for _ in 0..CASES {
+        let r = arb_relation(&mut rng);
         let n = r.arity();
-        let x = x.intersection(AttrSet::full(n));
+        let x = random_set(&mut rng, 5).intersection(AttrSet::full(n));
         let p = StrippedPartition::for_set(&r, x);
         if r.is_empty() {
-            prop_assert!(p.is_superkey());
+            assert!(p.is_superkey());
         } else if x.is_empty() {
             // π_∅ has one class with all tuples.
-            prop_assert_eq!(p.is_superkey(), r.len() < 2);
+            assert_eq!(p.is_superkey(), r.len() < 2);
         } else {
-            prop_assert_eq!(p.is_superkey(), r.is_superkey(x));
+            assert_eq!(p.is_superkey(), r.is_superkey(x));
         }
     }
 }

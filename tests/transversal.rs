@@ -4,69 +4,88 @@
 //! TANE→Armstrong extension relies on (§5.1).
 
 use depminer::hypergraph::Hypergraph;
-use depminer::relation::AttrSet;
-use proptest::prelude::*;
+use depminer::relation::{AttrSet, Prng};
+
+const CASES: usize = 128;
 
 /// Random hypergraph over ≤ 7 vertices with ≤ 6 non-empty edges.
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    proptest::collection::vec(1u32..(1 << 7), 1..=6).prop_map(|edges| {
-        Hypergraph::new(
-            7,
-            edges
-                .into_iter()
-                .map(|b| AttrSet::from_bits(b as u128))
-                .collect(),
-        )
-    })
+fn random_hypergraph(rng: &mut Prng) -> Hypergraph {
+    let n_edges = rng.gen_range(1..=6usize);
+    let edges: Vec<AttrSet> = (0..n_edges)
+        .map(|_| AttrSet::from_bits(rng.gen_range(1u32..(1 << 7)) as u128))
+        .collect();
+    Hypergraph::new(7, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn engines_agree(h in arb_hypergraph()) {
-        prop_assert_eq!(h.min_transversals_levelwise(), h.min_transversals_berge());
+#[test]
+fn engines_agree() {
+    let mut rng = Prng::seed_from_u64(0x7A01);
+    for _ in 0..CASES {
+        let h = random_hypergraph(&mut rng);
+        assert_eq!(h.min_transversals_levelwise(), h.min_transversals_berge());
     }
+}
 
-    #[test]
-    fn results_are_minimal_transversals(h in arb_hypergraph()) {
+#[test]
+fn results_are_minimal_transversals() {
+    let mut rng = Prng::seed_from_u64(0x7A02);
+    for _ in 0..CASES {
+        let h = random_hypergraph(&mut rng);
         let tr = h.min_transversals_levelwise();
-        prop_assert!(!tr.is_empty(), "a non-empty simple hypergraph always has transversals");
+        assert!(
+            !tr.is_empty(),
+            "a non-empty simple hypergraph always has transversals"
+        );
         for &t in &tr {
-            prop_assert!(h.is_minimal_transversal(t), "{} is not a minimal transversal", t);
+            assert!(
+                h.is_minimal_transversal(t),
+                "{t} is not a minimal transversal"
+            );
         }
         // Pairwise incomparable (an antichain).
         for &a in &tr {
             for &b in &tr {
-                prop_assert!(a == b || !a.is_subset_of(b));
+                assert!(a == b || !a.is_subset_of(b));
             }
         }
     }
+}
 
-    #[test]
-    fn results_are_complete(h in arb_hypergraph()) {
+#[test]
+fn results_are_complete() {
+    let mut rng = Prng::seed_from_u64(0x7A03);
+    for _ in 0..CASES {
+        let h = random_hypergraph(&mut rng);
         // Every minimal transversal found by exhaustive search appears.
         let tr = h.min_transversals_levelwise();
         let support = h.vertex_support();
         for bits in 0u32..(1 << 7) {
             let cand = AttrSet::from_bits(bits as u128);
             if cand.is_subset_of(support) && h.is_minimal_transversal(cand) {
-                prop_assert!(tr.contains(&cand), "missing minimal transversal {}", cand);
+                assert!(tr.contains(&cand), "missing minimal transversal {cand}");
             }
         }
     }
+}
 
-    #[test]
-    fn nihilpotence(h in arb_hypergraph()) {
+#[test]
+fn nihilpotence() {
+    let mut rng = Prng::seed_from_u64(0x7A04);
+    for _ in 0..CASES {
+        let h = random_hypergraph(&mut rng);
         let trtr = h.transversal_hypergraph().transversal_hypergraph();
-        prop_assert_eq!(trtr.edges(), h.edges());
+        assert_eq!(trtr.edges(), h.edges());
     }
+}
 
-    #[test]
-    fn transversal_duality_is_symmetric(h in arb_hypergraph()) {
+#[test]
+fn transversal_duality_is_symmetric() {
+    let mut rng = Prng::seed_from_u64(0x7A05);
+    for _ in 0..CASES {
+        let h = random_hypergraph(&mut rng);
         // G = Tr(H) ⇒ Tr(G) = H, in both engines.
         let g = Hypergraph::new(h.n_vertices(), h.min_transversals_berge());
         let back = g.min_transversals_levelwise();
-        prop_assert_eq!(back, h.edges().to_vec());
+        assert_eq!(back, h.edges().to_vec());
     }
 }
