@@ -15,7 +15,13 @@ fi
 echo "==> xtask check"
 cargo run -p xtask -q -- check
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (DEPMINER_THREADS=1, sequential fallback)"
+DEPMINER_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (DEPMINER_THREADS=4, parallel runtime)"
+DEPMINER_THREADS=4 cargo test -q
+
+echo "==> parallel scaling benchmark -> BENCH_parallel.json"
+cargo run --release -q -p depminer-bench --bin parallel_scaling -- --reps 2
 
 echo "ci.sh: all gates green"

@@ -1,0 +1,136 @@
+//! Thread-scaling benchmark for the parallel runtime (ISSUE: BENCH_parallel).
+//!
+//! Runs the §5.2 synthetic generator workload (default |R|=20, |r|=10 000,
+//! correlation 0.5) end-to-end through Dep-Miner and TANE at 1/2/4/8
+//! threads and writes a machine-readable summary to `BENCH_parallel.json`.
+//! Speedups are reported relative to the 1-thread run of the same binary;
+//! `host_cpus` records how much hardware parallelism was actually
+//! available, so a 1-core CI box producing ~1.0× speedups is
+//! distinguishable from a regression.
+//!
+//! ```text
+//! cargo run --release -p depminer-bench --bin parallel_scaling -- \
+//!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_parallel.json]
+//! ```
+
+use std::time::Instant;
+
+use depminer_core::DepMiner;
+use depminer_parallel::Parallelism;
+use depminer_relation::{Relation, SyntheticConfig};
+use depminer_tane::Tane;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Sample {
+    threads: usize,
+    depminer_s: f64,
+    tane_s: f64,
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn run(r: &Relation, threads: usize, reps: usize) -> Sample {
+    let par = if threads <= 1 {
+        Parallelism::Sequential
+    } else {
+        Parallelism::Threads(threads)
+    };
+    let miner = DepMiner::new().with_parallelism(par);
+    let depminer_s = time_best(reps, || {
+        let m = miner.mine(r);
+        assert!(!m.fds.is_empty() || r.arity() < 2, "workload found no FDs");
+    });
+    let tane = Tane::new().with_parallelism(par);
+    let tane_s = time_best(reps, || {
+        tane.run(r);
+    });
+    Sample {
+        threads,
+        depminer_s,
+        tane_s,
+    }
+}
+
+fn main() {
+    let mut n_attrs = 20usize;
+    let mut n_rows = 10_000usize;
+    let mut correlation = 0.5f64;
+    let mut reps = 3usize;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_default();
+        match a.as_str() {
+            "--attrs" => n_attrs = next().parse().expect("--attrs takes an integer"),
+            "--rows" => n_rows = next().parse().expect("--rows takes an integer"),
+            "--correlation" => correlation = next().parse().expect("--correlation takes a float"),
+            "--reps" => reps = next().parse().expect("--reps takes an integer"),
+            "--out" => out = next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let r = SyntheticConfig {
+        n_attrs,
+        n_rows,
+        correlation,
+        seed: 9,
+    }
+    .generate()
+    .expect("valid generator parameters");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "parallel_scaling: |R|={n_attrs} |r|={n_rows} correlation={correlation} \
+         reps={reps} host_cpus={host_cpus}"
+    );
+
+    let samples: Vec<Sample> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let s = run(&r, t, reps);
+            eprintln!(
+                "  threads={:<2} dep-miner {:>8.3}s  tane {:>8.3}s",
+                s.threads, s.depminer_s, s.tane_s
+            );
+            s
+        })
+        .collect();
+
+    let base = &samples[0];
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"n_attrs\": {n_attrs}, \"n_rows\": {n_rows}, \
+         \"correlation\": {correlation}, \"seed\": 9}},\n"
+    ));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"depminer_s\": {:.6}, \"tane_s\": {:.6}, \
+             \"depminer_speedup\": {:.3}, \"tane_speedup\": {:.3}}}{}\n",
+            s.threads,
+            s.depminer_s,
+            s.tane_s,
+            base.depminer_s / s.depminer_s,
+            base.tane_s / s.tane_s,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write benchmark summary");
+    println!("wrote {out}");
+}

@@ -1,6 +1,9 @@
 //! Agree-set computation (§3.1): the three strategies of the paper.
 //!
-//! * [`agree_sets_naive`] — the O(n·p²) baseline over all tuple couples;
+//! * [`agree_sets_naive`] — the O(n·p²) baseline over all tuple couples,
+//!   with a disjointness guard: a couple whose per-tuple duplicate-value
+//!   masks are disjoint provably has an empty agree set, so the O(p)
+//!   column scan is skipped for it;
 //! * [`agree_sets_couples`] — **Algorithm 2**: couples are drawn only from
 //!   maximal equivalence classes (Lemma 1) and agree sets are accumulated by
 //!   scanning the stripped partitions; includes the memory-bounded chunking
@@ -10,6 +13,16 @@
 //!   set `ec(t)` of stripped classes containing it; the agree set of a
 //!   couple is the attribute projection of `ec(t) ∩ ec(t')` (Lemma 2).
 //!
+//! Every strategy has a `_with` variant taking a
+//! [`Parallelism`] knob; the plain entry points run with
+//! [`Parallelism::Auto`]. Parallel decomposition never changes the result:
+//! Algorithm 2 fans the partition scan across *attributes* (each worker
+//! owns a slice of columns and a dense per-couple accumulator, merged by
+//! union), Algorithm 3 fans the identifier-set intersections across
+//! *couples* (thread-local hash-set accumulators merged at the end). Both
+//! merges are order-insensitive unions, and the final sort in
+//! [`AgreeSets::from_raw`] makes the output canonical.
+//!
 //! All strategies return [`AgreeSets`]: the *non-empty* agree sets of `r`,
 //! deduplicated and sorted, together with the context (arity, tuple count,
 //! constant attributes) the downstream `CMAX_SET` step needs. The empty
@@ -18,6 +31,7 @@
 //! corner handles explicitly (see [`crate::maxset`]), and Algorithms 2/3
 //! never materialize it, so it is uniformly excluded here.
 
+use depminer_parallel::{par_chunks, Parallelism};
 use depminer_relation::{AttrSet, FxHashMap, FxHashSet, Relation, StrippedPartitionDb};
 
 /// Which agree-set algorithm to run.
@@ -80,22 +94,52 @@ impl AgreeSets {
     }
 }
 
+/// Chunk length that cuts `total` items into `oversub` chunks per thread
+/// (one chunk — i.e. the sequential path — when `par` resolves to a single
+/// thread). Oversubscription lets work stealing smooth out uneven chunk
+/// costs.
+fn chunk_len(total: usize, par: Parallelism, oversub: usize) -> usize {
+    let threads = par.effective_threads();
+    if threads <= 1 {
+        total.max(1)
+    } else {
+        total.div_ceil(threads * oversub).max(1)
+    }
+}
+
 /// Computes agree sets by running `strategy` against the stripped partition
-/// database.
+/// database, with the process default parallelism.
 pub fn agree_sets(db: &StrippedPartitionDb, strategy: AgreeSetStrategy) -> AgreeSets {
+    agree_sets_with(db, strategy, Parallelism::Auto)
+}
+
+/// [`agree_sets`] with an explicit thread-count setting. The result is
+/// identical at every thread count.
+pub fn agree_sets_with(
+    db: &StrippedPartitionDb,
+    strategy: AgreeSetStrategy,
+    par: Parallelism,
+) -> AgreeSets {
     match strategy {
         AgreeSetStrategy::Naive => {
             // Reconstruct pairwise agreement from the partition db itself so
             // all strategies share one input (the db is informationally
             // equivalent to r, §3.1).
-            naive_from_db(db)
+            naive_from_db(db, par)
         }
-        AgreeSetStrategy::Couples { chunk_size } => agree_sets_couples(db, chunk_size),
-        AgreeSetStrategy::EquivalenceClasses => agree_sets_ec(db),
+        AgreeSetStrategy::Couples { chunk_size } => agree_sets_couples_with(db, chunk_size, par),
+        AgreeSetStrategy::EquivalenceClasses => agree_sets_ec_with(db, par),
     }
 }
 
 /// The naive all-pairs algorithm, run directly on a relation.
+///
+/// A couple's agree set is non-empty only if the two tuples share a value
+/// somewhere — i.e. only if, for some attribute, *both* tuples hold a value
+/// occurring at least twice in that column. Pre-computing a per-tuple mask
+/// of such "duplicated" attributes lets the inner O(p) scan be skipped
+/// whenever the two masks are disjoint, which on key-heavy relations is the
+/// vast majority of couples.
 pub fn agree_sets_naive(r: &Relation) -> AgreeSets {
     let db_constants = {
         // cheap constant detection without building the full db
@@ -111,9 +155,28 @@ pub fn agree_sets_naive(r: &Relation) -> AgreeSets {
         }
         s
     };
+    // dup_attrs[t]: attributes where t's value occurs ≥ 2 times in its
+    // column. ag(ti, tj) ⊆ dup_attrs[ti] ∩ dup_attrs[tj], so a disjoint
+    // pair of masks proves the agree set empty.
+    let mut dup_attrs: Vec<AttrSet> = vec![AttrSet::empty(); r.len()];
+    for a in 0..r.arity() {
+        let col = r.column(a);
+        let mut count = vec![0u32; col.distinct_count()];
+        for &c in col.codes() {
+            count[c as usize] += 1;
+        }
+        for (t, &c) in col.codes().iter().enumerate() {
+            if count[c as usize] >= 2 {
+                dup_attrs[t].insert(a);
+            }
+        }
+    }
     let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
     for i in 0..r.len() {
         for j in (i + 1)..r.len() {
+            if (dup_attrs[i] & dup_attrs[j]).is_empty() {
+                continue; // provably empty agree set
+            }
             seen.insert(r.agree_set(i, j));
         }
     }
@@ -122,14 +185,29 @@ pub fn agree_sets_naive(r: &Relation) -> AgreeSets {
 
 /// All-pairs agreement computed from the stripped partition database: every
 /// tuple's attribute-agreement is reconstructed via `ec` sets. Used as the
-/// `Naive` strategy when only a db is available.
-fn naive_from_db(db: &StrippedPartitionDb) -> AgreeSets {
+/// `Naive` strategy when only a db is available. Row ranges fan out across
+/// threads; each worker intersects its rows against all later rows into a
+/// thread-local set.
+fn naive_from_db(db: &StrippedPartitionDb, par: Parallelism) -> AgreeSets {
     let ec = db.equivalence_class_ids();
+    let n = db.n_rows();
+    let rows: Vec<usize> = (0..n).collect();
+    // High oversubscription: chunk i's workload shrinks with i (triangular
+    // loop), so small chunks keep the stealing balanced.
+    let locals: Vec<FxHashSet<AttrSet>> =
+        par_chunks(par, &rows, chunk_len(n, par, 8), |row_chunk| {
+            let mut local: FxHashSet<AttrSet> = FxHashSet::default();
+            for &i in row_chunk {
+                for j in (i + 1)..n {
+                    local.insert(intersect_ec(&ec[i], &ec[j]));
+                }
+            }
+            local
+        });
     let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
-    for i in 0..db.n_rows() {
-        for j in (i + 1)..db.n_rows() {
-            seen.insert(intersect_ec(&ec[i], &ec[j]));
-        }
+    // set-union merge is order-insensitive; lint: allow(unordered-iter)
+    for local in locals {
+        seen.extend(local);
     }
     AgreeSets::from_raw(
         seen.into_iter().collect(),
@@ -139,28 +217,39 @@ fn naive_from_db(db: &StrippedPartitionDb) -> AgreeSets {
     )
 }
 
+/// **Algorithm 2** with the process default parallelism.
+pub fn agree_sets_couples(db: &StrippedPartitionDb, chunk_size: Option<usize>) -> AgreeSets {
+    agree_sets_couples_with(db, chunk_size, Parallelism::Auto)
+}
+
 /// **Algorithm 2.** Couples are generated per maximal equivalence class;
 /// when `chunk_size` couples have accumulated, the stripped partitions are
 /// scanned once to fill in their agree sets and the buffer is flushed.
-pub fn agree_sets_couples(db: &StrippedPartitionDb, chunk_size: Option<usize>) -> AgreeSets {
+///
+/// The flush is the hot part and is where the parallelism lives — see
+/// [`flush_couples`].
+pub fn agree_sets_couples_with(
+    db: &StrippedPartitionDb,
+    chunk_size: Option<usize>,
+    par: Parallelism,
+) -> AgreeSets {
     let mc = db.maximal_classes();
     let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
-    // couples: (t, t') with t < t', mapped to the agree set under
-    // construction (lines 4–9 of Algorithm 2).
-    let mut couples: FxHashMap<(u32, u32), AttrSet> = FxHashMap::default();
+    // couples: (t, t') with t < t', buffered until the flush threshold
+    // (lines 4–9 of Algorithm 2).
+    let mut couples: Vec<(u32, u32)> = Vec::new();
     for class in &mc {
         for (k, &t) in class.iter().enumerate() {
             for &u in &class[k + 1..] {
-                let key = if t < u { (t, u) } else { (u, t) };
-                couples.entry(key).or_insert(AttrSet::empty());
+                couples.push(if t < u { (t, u) } else { (u, t) });
                 if couples.len() >= threshold {
-                    flush_couples(db, &mut couples, &mut ag);
+                    flush_couples(db, &mut couples, &mut ag, par);
                 }
             }
         }
     }
-    flush_couples(db, &mut couples, &mut ag);
+    flush_couples(db, &mut couples, &mut ag, par);
     AgreeSets::from_raw(
         ag.into_iter().collect(),
         db.arity(),
@@ -172,27 +261,56 @@ pub fn agree_sets_couples(db: &StrippedPartitionDb, chunk_size: Option<usize>) -
 /// Lines 10–21 of Algorithm 2: scan every stripped class; each couple found
 /// inside a class of `π̂_A` gains attribute `A`; finally the buffered agree
 /// sets join `ag(r)` and the buffer empties.
+///
+/// Parallel decomposition: the scan fans out across *attributes* (not
+/// couples — chunking couples would make every worker re-scan all
+/// partitions, duplicating the dominant cost). Each worker scans its slice
+/// of columns into a dense per-couple accumulator indexed by the couple's
+/// position in the sorted buffer; the per-worker accumulators are merged by
+/// attribute-set union, which is order-insensitive.
 fn flush_couples(
     db: &StrippedPartitionDb,
-    couples: &mut FxHashMap<(u32, u32), AttrSet>,
+    couples: &mut Vec<(u32, u32)>,
     ag: &mut FxHashSet<AttrSet>,
+    par: Parallelism,
 ) {
     if couples.is_empty() {
         return;
     }
-    for (a, partition) in db.partitions().iter().enumerate() {
-        for class in partition.classes() {
-            for (k, &t) in class.iter().enumerate() {
-                for &u in &class[k + 1..] {
-                    let key = if t < u { (t, u) } else { (u, t) };
-                    if let Some(s) = couples.get_mut(&key) {
-                        s.insert(a);
+    couples.sort_unstable();
+    couples.dedup();
+    let n = couples.len();
+    let slot_of: FxHashMap<(u32, u32), u32> = couples
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    let attrs: Vec<usize> = (0..db.arity()).collect();
+    let partials: Vec<Vec<AttrSet>> =
+        par_chunks(par, &attrs, chunk_len(attrs.len(), par, 2), |attr_chunk| {
+            let mut local = vec![AttrSet::empty(); n];
+            for &a in attr_chunk {
+                for class in db.partition(a).classes() {
+                    for (k, &t) in class.iter().enumerate() {
+                        for &u in &class[k + 1..] {
+                            let key = if t < u { (t, u) } else { (u, t) };
+                            if let Some(&slot) = slot_of.get(&key) {
+                                local[slot as usize].insert(a);
+                            }
+                        }
                     }
                 }
             }
+            local
+        });
+    let mut merged = vec![AttrSet::empty(); n];
+    for partial in partials {
+        for (m, p) in merged.iter_mut().zip(partial) {
+            *m = *m | p;
         }
     }
-    ag.extend(couples.drain().map(|(_, s)| s));
+    ag.extend(merged);
+    couples.clear();
 }
 
 /// Ablation variant of Algorithm 2 *without* the maximal-class reduction:
@@ -203,23 +321,31 @@ fn flush_couples(
 /// the `Max⊆` filter of Lemma 1 exists to avoid. Benchmarked by
 /// `ablation_mc`.
 pub fn agree_sets_couples_no_mc(db: &StrippedPartitionDb, chunk_size: Option<usize>) -> AgreeSets {
+    agree_sets_couples_no_mc_with(db, chunk_size, Parallelism::Auto)
+}
+
+/// [`agree_sets_couples_no_mc`] with an explicit thread-count setting.
+pub fn agree_sets_couples_no_mc_with(
+    db: &StrippedPartitionDb,
+    chunk_size: Option<usize>,
+    par: Parallelism,
+) -> AgreeSets {
     let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
-    let mut couples: FxHashMap<(u32, u32), AttrSet> = FxHashMap::default();
+    let mut couples: Vec<(u32, u32)> = Vec::new();
     for partition in db.partitions() {
         for class in partition.classes() {
             for (k, &t) in class.iter().enumerate() {
                 for &u in &class[k + 1..] {
-                    let key = if t < u { (t, u) } else { (u, t) };
-                    couples.entry(key).or_insert(AttrSet::empty());
+                    couples.push(if t < u { (t, u) } else { (u, t) });
                     if couples.len() >= threshold {
-                        flush_couples(db, &mut couples, &mut ag);
+                        flush_couples(db, &mut couples, &mut ag, par);
                     }
                 }
             }
         }
     }
-    flush_couples(db, &mut couples, &mut ag);
+    flush_couples(db, &mut couples, &mut ag, par);
     AgreeSets::from_raw(
         ag.into_iter().collect(),
         db.arity(),
@@ -228,23 +354,43 @@ pub fn agree_sets_couples_no_mc(db: &StrippedPartitionDb, chunk_size: Option<usi
     )
 }
 
+/// **Algorithm 3** with the process default parallelism.
+pub fn agree_sets_ec(db: &StrippedPartitionDb) -> AgreeSets {
+    agree_sets_ec_with(db, Parallelism::Auto)
+}
+
 /// **Algorithm 3.** Builds `ec(t)` for every tuple (lines 2–8), then for
 /// each couple within a maximal class intersects the two identifier lists
 /// (lines 9–14). The lists are sorted, so intersection is a linear merge.
-pub fn agree_sets_ec(db: &StrippedPartitionDb) -> AgreeSets {
+///
+/// The couple list is materialized, sorted and deduplicated (replacing the
+/// `done`-set of the sequential formulation), then the intersections fan
+/// out across threads with a thread-local accumulator per chunk.
+pub fn agree_sets_ec_with(db: &StrippedPartitionDb, par: Parallelism) -> AgreeSets {
     let ec = db.equivalence_class_ids();
     let mc = db.maximal_classes();
-    let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
-    let mut done: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut couples: Vec<(u32, u32)> = Vec::new();
     for class in &mc {
         for (k, &t) in class.iter().enumerate() {
             for &u in &class[k + 1..] {
-                let key = if t < u { (t, u) } else { (u, t) };
-                if done.insert(key) {
-                    ag.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
-                }
+                couples.push(if t < u { (t, u) } else { (u, t) });
             }
         }
+    }
+    couples.sort_unstable();
+    couples.dedup();
+    let locals: Vec<FxHashSet<AttrSet>> =
+        par_chunks(par, &couples, chunk_len(couples.len(), par, 4), |chunk| {
+            let mut local: FxHashSet<AttrSet> = FxHashSet::default();
+            for &(t, u) in chunk {
+                local.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
+            }
+            local
+        });
+    let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
+    // set-union merge is order-insensitive; lint: allow(unordered-iter)
+    for local in locals {
+        ag.extend(local);
     }
     AgreeSets::from_raw(
         ag.into_iter().collect(),
@@ -300,6 +446,34 @@ mod tests {
     }
 
     #[test]
+    fn naive_guard_agrees_with_unguarded_scan() {
+        // The disjointness guard may only skip couples whose agree set is
+        // empty: compare against the plain all-pairs scan.
+        for r in [
+            datasets::employee(),
+            datasets::enrollment(),
+            datasets::constant_columns(),
+            datasets::no_fds(),
+            depminer_relation::SyntheticConfig::new(6, 120, 0.5)
+                .generate()
+                .unwrap(),
+        ] {
+            let mut unguarded: FxHashSet<AttrSet> = FxHashSet::default();
+            for i in 0..r.len() {
+                for j in (i + 1)..r.len() {
+                    let ag = r.agree_set(i, j);
+                    if !ag.is_empty() {
+                        unguarded.insert(ag);
+                    }
+                }
+            }
+            let mut expected: Vec<AttrSet> = unguarded.into_iter().collect();
+            expected.sort_unstable();
+            assert_eq!(agree_sets_naive(&r).sets, expected);
+        }
+    }
+
+    #[test]
     fn algorithm2_matches_paper_example() {
         let r = datasets::employee();
         let db = StrippedPartitionDb::from_relation(&r);
@@ -350,6 +524,31 @@ mod tests {
                 let ag = agree_sets(&db, strat);
                 assert_eq!(ag.sets, naive.sets, "strategy {:?} diverges", strat);
                 assert_eq!(ag.constant_attrs, naive.constant_attrs);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_match_sequential() {
+        let r = depminer_relation::SyntheticConfig::new(8, 200, 0.4)
+            .generate()
+            .unwrap();
+        let db = StrippedPartitionDb::from_relation(&r);
+        for strat in [
+            AgreeSetStrategy::Naive,
+            AgreeSetStrategy::Couples { chunk_size: None },
+            AgreeSetStrategy::Couples {
+                chunk_size: Some(64),
+            },
+            AgreeSetStrategy::EquivalenceClasses,
+        ] {
+            let seq = agree_sets_with(&db, strat, Parallelism::Sequential);
+            for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+                assert_eq!(
+                    agree_sets_with(&db, strat, par),
+                    seq,
+                    "strategy {strat:?} at {par:?} diverges"
+                );
             }
         }
     }

@@ -8,6 +8,7 @@
 use crate::maxset::MaxSets;
 use depminer_fdtheory::{normalize_fds, Fd};
 use depminer_hypergraph::Hypergraph;
+use depminer_parallel::{par_map_indexed, Parallelism};
 use depminer_relation::AttrSet;
 
 /// Which minimal-transversal engine to use.
@@ -42,17 +43,28 @@ impl TransversalEngine {
     }
 }
 
-/// `LEFT_HAND_SIDE`: computes `lhs(dep(r), A)` for every attribute.
+/// `LEFT_HAND_SIDE`: computes `lhs(dep(r), A)` for every attribute, with
+/// the process default parallelism.
 ///
 /// When `cmax(dep(r), A)` is empty (constant attribute), the unique minimal
 /// transversal is `∅` and the minimal FD is `∅ → A`.
 pub fn left_hand_sides(ms: &MaxSets, engine: TransversalEngine) -> Vec<Vec<AttrSet>> {
-    (0..ms.arity)
-        .map(|a| {
-            let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
-            engine.run(&h)
-        })
-        .collect()
+    left_hand_sides_with(ms, engine, Parallelism::Auto)
+}
+
+/// [`left_hand_sides`] with an explicit thread-count setting. Each
+/// attribute's transversal problem `Tr(cmax(dep(r), A))` is independent, so
+/// the hypergraphs fan out across attributes; every engine is deterministic,
+/// so the result is identical at any thread count.
+pub fn left_hand_sides_with(
+    ms: &MaxSets,
+    engine: TransversalEngine,
+    par: Parallelism,
+) -> Vec<Vec<AttrSet>> {
+    par_map_indexed(par, ms.arity, |a| {
+        let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
+        engine.run(&h)
+    })
 }
 
 /// `FD_OUTPUT`: turns per-attribute lhs families into minimal non-trivial

@@ -39,14 +39,16 @@ pub mod maxset;
 pub mod stats;
 
 pub use agree::{
-    agree_sets, agree_sets_couples, agree_sets_couples_no_mc, agree_sets_ec, agree_sets_naive,
+    agree_sets, agree_sets_couples, agree_sets_couples_no_mc, agree_sets_couples_no_mc_with,
+    agree_sets_couples_with, agree_sets_ec, agree_sets_ec_with, agree_sets_naive, agree_sets_with,
     AgreeSetStrategy, AgreeSets,
 };
 pub use armstrong::{real_world_armstrong, real_world_exists, synthetic_armstrong};
 pub use audit::{audit_lhs, audit_lhs_for_attribute};
+pub use depminer_parallel::Parallelism;
 pub use keys::candidate_keys_from_agree_sets;
-pub use lhs::{fd_output, left_hand_sides, TransversalEngine};
-pub use maxset::{cmax_sets, MaxSets};
+pub use lhs::{fd_output, left_hand_sides, left_hand_sides_with, TransversalEngine};
+pub use maxset::{cmax_sets, cmax_sets_with, MaxSets};
 pub use stats::PhaseTimings;
 
 use depminer_fdtheory::Fd;
@@ -66,6 +68,10 @@ pub struct DepMiner {
     pub strategy: AgreeSetStrategy,
     /// Transversal engine (§3.3).
     pub engine: TransversalEngine,
+    /// Thread-count setting for every phase (defaults to
+    /// [`Parallelism::Auto`]: `DEPMINER_THREADS` if set, else all cores).
+    /// The mined result is identical at every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for DepMiner {
@@ -80,6 +86,7 @@ impl DepMiner {
         DepMiner {
             strategy: AgreeSetStrategy::Couples { chunk_size: None },
             engine: TransversalEngine::Levelwise,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -88,7 +95,7 @@ impl DepMiner {
     pub fn algorithm_2(chunk_size: Option<usize>) -> Self {
         DepMiner {
             strategy: AgreeSetStrategy::Couples { chunk_size },
-            engine: TransversalEngine::Levelwise,
+            ..DepMiner::new()
         }
     }
 
@@ -96,7 +103,7 @@ impl DepMiner {
     pub fn algorithm_3() -> Self {
         DepMiner {
             strategy: AgreeSetStrategy::EquivalenceClasses,
-            engine: TransversalEngine::Levelwise,
+            ..DepMiner::new()
         }
     }
 
@@ -106,11 +113,17 @@ impl DepMiner {
         self
     }
 
+    /// Selects the thread-count setting for every phase of the pipeline.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Runs the full pipeline on a relation (extracting the stripped
     /// partition database first).
     pub fn mine(&self, r: &Relation) -> MiningResult {
         let t0 = Instant::now();
-        let db = StrippedPartitionDb::from_relation(r);
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
         let preprocess = t0.elapsed();
         if audits_enabled() {
             enforce(db.validate_against(r));
@@ -125,18 +138,18 @@ impl DepMiner {
     /// representation of a relation").
     pub fn mine_db(&self, db: &StrippedPartitionDb) -> MiningResult {
         let t1 = Instant::now();
-        let ag = agree_sets(db, self.strategy);
+        let ag = agree_sets_with(db, self.strategy, self.parallelism);
         let t_agree = t1.elapsed();
 
         let t2 = Instant::now();
-        let max_sets = cmax_sets(&ag);
+        let max_sets = cmax_sets_with(&ag, self.parallelism);
         let t_cmax = t2.elapsed();
         if audits_enabled() {
             enforce(max_sets.audit(&ag));
         }
 
         let t3 = Instant::now();
-        let lhs = left_hand_sides(&max_sets, self.engine);
+        let lhs = left_hand_sides_with(&max_sets, self.engine, self.parallelism);
         let fds = fd_output(&lhs);
         let t_lhs = t3.elapsed();
         if audits_enabled() {
@@ -253,7 +266,10 @@ mod tests {
             DepMiner {
                 strategy: AgreeSetStrategy::Naive,
                 engine: TransversalEngine::Berge,
+                ..DepMiner::new()
             },
+            DepMiner::new().with_parallelism(Parallelism::Sequential),
+            DepMiner::new().with_parallelism(Parallelism::Threads(4)),
         ] {
             let fds = miner.mine(&r).fds;
             assert_eq!(fds, base, "{miner:?} diverges");

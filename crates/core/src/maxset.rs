@@ -26,6 +26,7 @@
 //! explicitly so Dep-Miner is exact on *every* input.
 
 use crate::agree::AgreeSets;
+use depminer_parallel::{par_map_indexed, Parallelism};
 use depminer_relation::{retain_maximal, AttrSet};
 
 /// Per-attribute maximal sets and complements.
@@ -50,13 +51,19 @@ impl MaxSets {
     }
 }
 
-/// Algorithm 4 (`CMAX_SET`), with the empty-agree-set corner handled as
-/// described in the module docs.
+/// Algorithm 4 (`CMAX_SET`) with the process default parallelism.
 pub fn cmax_sets(ag: &AgreeSets) -> MaxSets {
+    cmax_sets_with(ag, Parallelism::Auto)
+}
+
+/// Algorithm 4 (`CMAX_SET`), with the empty-agree-set corner handled as
+/// described in the module docs. The per-attribute `max(dep(r), A)`
+/// computations are independent, so they fan out across attributes; the
+/// result is identical at every thread count.
+pub fn cmax_sets_with(ag: &AgreeSets, par: Parallelism) -> MaxSets {
     let n = ag.arity;
     let full = AttrSet::full(n);
-    let mut max: Vec<Vec<AttrSet>> = Vec::with_capacity(n);
-    for a in 0..n {
+    let max: Vec<Vec<AttrSet>> = par_map_indexed(par, n, |a| {
         // Lemma 3: maximal non-empty agree sets avoiding A.
         let mut cands: Vec<AttrSet> = ag.sets.iter().copied().filter(|x| !x.contains(a)).collect();
         retain_maximal(&mut cands);
@@ -66,8 +73,8 @@ pub fn cmax_sets(ag: &AgreeSets) -> MaxSets {
             // set (A is not constant, yet no non-empty agree set avoids it).
             cands.push(AttrSet::empty());
         }
-        max.push(cands);
-    }
+        cands
+    });
     let cmax = max
         .iter()
         .map(|sets| {
@@ -166,6 +173,18 @@ mod tests {
         for a in 0..2 {
             assert_eq!(ms.max[a], vec![AttrSet::empty()]);
             assert_eq!(ms.cmax[a], vec![AttrSet::full(2)]);
+        }
+    }
+
+    #[test]
+    fn parallel_cmax_matches_sequential() {
+        let r = depminer_relation::SyntheticConfig::new(8, 150, 0.5)
+            .generate()
+            .unwrap();
+        let ag = agree_sets_naive(&r);
+        let seq = cmax_sets_with(&ag, Parallelism::Sequential);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            assert_eq!(cmax_sets_with(&ag, par), seq, "{par:?}");
         }
     }
 

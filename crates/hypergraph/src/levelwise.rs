@@ -14,13 +14,31 @@
 //! This mirrors [AS94]'s `Apriori-gen` exactly as the paper specifies.
 
 use crate::Hypergraph;
+use depminer_parallel::{par_map, Parallelism};
 use depminer_relation::AttrSet;
 
-/// Computes `Tr(H)`: all minimal transversals of `h`.
+/// Levels smaller than this are checked on the calling thread even when a
+/// parallel setting is in force: below it, the per-candidate edge scans are
+/// too cheap to amortize the fan-out.
+const PAR_LEVEL_THRESHOLD: usize = 512;
+
+/// Computes `Tr(H)`: all minimal transversals of `h`, with the process
+/// default parallelism.
 ///
 /// Returns `[∅]` when `h` has no edges (the empty set is then the unique
 /// minimal transversal), matching Algorithm 5's behaviour of `L₁ = ∅`.
 pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
+    min_transversals_with(h, Parallelism::Auto)
+}
+
+/// [`min_transversals`] with an explicit thread-count setting.
+///
+/// The per-candidate transversal checks within a level are independent, so
+/// wide levels fan out across threads; the transversal/survivor split is
+/// then replayed in level order, keeping the output identical to the
+/// sequential run. Candidate generation stays sequential (it is a small
+/// fraction of level cost and its join order matters).
+pub fn min_transversals_with(h: &Hypergraph, par: Parallelism) -> Vec<AttrSet> {
     if h.is_empty() {
         return vec![AttrSet::empty()];
     }
@@ -30,11 +48,22 @@ pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
     while !level.is_empty() {
         // Split the level into transversals (emitted) and survivors.
         let mut survivors: Vec<AttrSet> = Vec::with_capacity(level.len());
-        for &cand in &level {
-            if h.is_transversal(cand) {
-                result.push(cand);
-            } else {
-                survivors.push(cand);
+        if level.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
+            let flags: Vec<bool> = par_map(par, &level, |&cand| h.is_transversal(cand));
+            for (&cand, is_tr) in level.iter().zip(flags) {
+                if is_tr {
+                    result.push(cand);
+                } else {
+                    survivors.push(cand);
+                }
+            }
+        } else {
+            for &cand in &level {
+                if h.is_transversal(cand) {
+                    result.push(cand);
+                } else {
+                    survivors.push(cand);
+                }
             }
         }
         level = apriori_gen(&survivors);
@@ -158,6 +187,20 @@ mod tests {
         let h = Hypergraph::new(4, vec![s(&[0]), s(&[2, 3])]);
         let tr = min_transversals(&h);
         assert_eq!(tr, vec![s(&[0, 2]), s(&[0, 3])]);
+    }
+
+    #[test]
+    fn parallel_levels_match_sequential_above_threshold() {
+        // 8 disjoint pairs: Tr is the 2^8 = 256-way cross product, and the
+        // middle lattice levels are wide enough (C(8,5)·2^5 = 1792) to cross
+        // PAR_LEVEL_THRESHOLD, exercising the parallel split path.
+        let edges: Vec<AttrSet> = (0..8).map(|i| s(&[2 * i, 2 * i + 1])).collect();
+        let h = Hypergraph::new(16, edges);
+        let seq = min_transversals_with(&h, Parallelism::Sequential);
+        assert_eq!(seq.len(), 256);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            assert_eq!(min_transversals_with(&h, par), seq, "{par:?}");
+        }
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl Hypergraph {
         tr
     }
 
+    /// [`Hypergraph::min_transversals_levelwise`] with an explicit
+    /// thread-count setting: wide lattice levels fan their candidate
+    /// transversal checks across threads. The result is identical at every
+    /// thread count. See [`levelwise::min_transversals_with`].
+    pub fn min_transversals_levelwise_with(
+        &self,
+        par: depminer_parallel::Parallelism,
+    ) -> Vec<AttrSet> {
+        let tr = levelwise::min_transversals_with(self, par);
+        if audits_enabled() {
+            enforce(self.audit_transversals(&tr));
+        }
+        tr
+    }
+
     /// Minimal transversals via Berge's incremental algorithm.
     /// See [`berge::min_transversals`].
     pub fn min_transversals_berge(&self) -> Vec<AttrSet> {

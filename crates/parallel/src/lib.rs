@@ -1,0 +1,294 @@
+//! # depminer-parallel
+//!
+//! A dependency-free work-stealing parallel runtime for the Dep-Miner
+//! hot path. The workspace must build with zero network access, so this
+//! crate hand-rolls on `std` what `rayon` would otherwise provide:
+//!
+//! * a global, lazily grown [`ThreadPool`] of work-stealing workers
+//!   ([`pool`]);
+//! * scoped spawning with panic propagation ([`scope`], the soundness
+//!   core);
+//! * data-parallel helpers — [`par_map`], [`par_map_indexed`],
+//!   [`par_chunks`] — with **deterministic result ordering**: outputs are
+//!   always in input order, no matter which worker ran which chunk;
+//! * the [`Parallelism`] knob every mining entry point exposes, with a
+//!   `DEPMINER_THREADS` environment override (`0` or `1` force the
+//!   sequential fallback, so debug invariant audits and tests stay
+//!   reproducible under a single-threaded run).
+//!
+//! Determinism contract: for a pure `f`, every helper in this crate
+//! returns bit-identical results at any thread count, because work is
+//! split into chunks at deterministic boundaries and results are written
+//! into per-chunk slots indexed by input position. Parallel and
+//! sequential runs of the miners are asserted equal by the
+//! `parallel_equivalence` property tests.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod scope;
+
+pub use pool::ThreadPool;
+pub use scope::Scope;
+
+use std::sync::OnceLock;
+
+/// How many chunks to cut per participating thread: a little
+/// oversubscription lets work stealing smooth out uneven chunk costs
+/// without shredding cache locality.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Thread-count knob carried by the mining entry points.
+///
+/// `Auto` (the default) resolves to the `DEPMINER_THREADS` environment
+/// variable when set, and to [`std::thread::available_parallelism`]
+/// otherwise. An explicit [`Parallelism::Threads`] is a programmatic
+/// choice and ignores the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// `DEPMINER_THREADS` if set, else all available cores.
+    #[default]
+    Auto,
+    /// Single-threaded: run everything on the calling thread. Identical
+    /// output to any parallel configuration, useful for debugging and
+    /// reproducing invariant-audit failures.
+    Sequential,
+    /// Exactly this many threads (the calling thread counts as one).
+    /// `0` and `1` mean sequential.
+    Threads(usize),
+}
+
+/// Hard cap on the resolved thread count; far above any sane setting,
+/// it only guards against `DEPMINER_THREADS=999999` typos.
+const MAX_THREADS: usize = 256;
+
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(raw) = std::env::var("DEPMINER_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                return n.clamp(1, MAX_THREADS);
+            }
+            // Unparseable values fall through to core detection rather
+            // than silently serializing the whole run.
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+impl Parallelism {
+    /// The number of threads this setting resolves to (always ≥ 1; `1`
+    /// means the sequential fallback).
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.clamp(1, MAX_THREADS),
+            Parallelism::Auto => auto_threads(),
+        }
+    }
+
+    /// `true` when this setting runs on the calling thread only.
+    pub fn is_sequential(self) -> bool {
+        self.effective_threads() <= 1
+    }
+}
+
+/// Maps `f` over `items` in parallel, returning results **in input
+/// order**. Falls back to a plain sequential map when `par` resolves to
+/// one thread or the input is tiny.
+///
+/// Panics in `f` propagate to the caller after all in-flight chunks
+/// finish (see [`scope`]).
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = par.effective_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let nested: Vec<Vec<R>> = run_chunked(threads, items, chunk_size, |chunk| {
+        chunk.iter().map(&f).collect()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Maps `f` over the index range `0..n` in parallel; results are in index
+/// order. Convenient for per-attribute fan-out where the closure indexes
+/// shared state directly.
+pub fn par_map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(par, &indices, |&i| f(i))
+}
+
+/// Applies `f` to consecutive chunks of `items` of length `chunk_size`
+/// (the last chunk may be shorter), in parallel, returning one result per
+/// chunk **in chunk order**. This is the primitive for thread-local
+/// accumulators: each invocation of `f` owns its chunk and builds a local
+/// result; the caller merges the returned vector deterministically.
+pub fn par_chunks<T, R, F>(par: Parallelism, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let threads = par.effective_threads();
+    if threads <= 1 || items.len() <= chunk_size {
+        return items.chunks(chunk_size).map(|c| f(c)).collect();
+    }
+    run_chunked(threads, items, chunk_size, f)
+}
+
+/// Shared chunked executor: cut `items` at deterministic boundaries,
+/// fan the chunks out on the global pool, and collect per-chunk results
+/// into slots indexed by chunk position.
+fn run_chunked<T, R, F>(threads: usize, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let pool = ThreadPool::global();
+    // The joining thread participates, so `threads` parallelism needs
+    // `threads - 1` workers.
+    pool.ensure_workers(threads.saturating_sub(1));
+    let n_chunks = items.len().div_ceil(chunk_size);
+    // One slot per chunk, indexed by chunk position — this is what makes
+    // result order deterministic. `Mutex<Option<R>>` (rather than
+    // `OnceLock`) keeps the bound at `R: Send`; each slot is written
+    // exactly once by the task owning the chunk, so the lock is never
+    // contended.
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n_chunks).map(|_| std::sync::Mutex::new(None)).collect();
+    pool.scope(|s| {
+        for (slot, chunk) in slots.iter().zip(items.chunks(chunk_size)) {
+            let f = &f;
+            s.spawn(move || {
+                let value = f(chunk);
+                *slot
+                    .lock()
+                    .expect("chunk slot mutex poisoned (the writer cannot unwind mid-store)") =
+                    Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot mutex poisoned (the writer cannot unwind mid-store)")
+                .expect("scope joined, so every chunk task has run")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Sequential.effective_threads(), 1);
+        assert!(Parallelism::Sequential.is_sequential());
+        assert_eq!(Parallelism::Threads(0).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(1).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(6).effective_threads(), 6);
+        assert_eq!(Parallelism::Threads(usize::MAX).effective_threads(), 256);
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Threads(8),
+        ] {
+            assert_eq!(par_map(par, &items, |&x| x * x), expected, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_matches_range_map() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        assert_eq!(
+            par_map_indexed(Parallelism::Threads(4), 1000, |i| i * 3 + 1),
+            expected
+        );
+        assert!(par_map_indexed(Parallelism::Threads(4), 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_chunking_is_deterministic() {
+        let items: Vec<u32> = (0..103).collect();
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let sums = par_chunks(par, &items, 10, |c| c.iter().sum::<u32>());
+            assert_eq!(sums.len(), 11, "{par:?}");
+            let expected: Vec<u32> = items.chunks(10).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums, expected, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(Parallelism::Threads(4), &empty, |&x| x).is_empty());
+        assert!(par_chunks(Parallelism::Threads(4), &empty, 8, |c| c.len()).is_empty());
+        assert_eq!(par_map(Parallelism::Threads(4), &[7u32], |&x| x + 1), [8]);
+        assert_eq!(
+            par_chunks(Parallelism::Threads(4), &[7u32], 8, |c| c.len()),
+            [1]
+        );
+    }
+
+    #[test]
+    fn par_map_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(Parallelism::Threads(4), &items, |&x| {
+                assert!(x != 57, "x hit the poison value");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_par_map() {
+        let outer: Vec<u32> = (0..8).collect();
+        let result = par_map(Parallelism::Threads(4), &outer, |&i| {
+            let inner: Vec<u32> = (0..64).collect();
+            par_map(Parallelism::Threads(4), &inner, |&j| i * 1000 + j)
+                .into_iter()
+                .sum::<u32>()
+        });
+        let expected: Vec<u32> = (0..8)
+            .map(|i| (0..64).map(|j| i * 1000 + j).sum())
+            .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn zero_sized_chunk_size_is_clamped() {
+        let items = [1u32, 2, 3];
+        assert_eq!(
+            par_chunks(Parallelism::Sequential, &items, 0, |c| c.len()),
+            [1, 1, 1]
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! The work-stealing thread pool.
+//!
+//! One global pool serves the whole process (see [`ThreadPool::global`]);
+//! it is created lazily and grows on demand up to the largest parallelism
+//! any caller has requested. Every worker owns a deque: it pops its own
+//! work LIFO (cache-warm) and steals FIFO from its siblings when idle —
+//! the classic work-stealing discipline, hand-rolled on `std` primitives
+//! only so the workspace keeps building offline.
+//!
+//! Scheduling model:
+//!
+//! * external threads submit round-robin across worker deques;
+//! * a worker thread that spawns (nested scopes) pushes onto its *own*
+//!   deque, so nested work stays local until someone steals it;
+//! * a thread joining a [`Scope`](crate::scope::Scope) does not block —
+//!   it *helps*, draining queued jobs until its scope completes. That
+//!   rule is what makes nested scopes deadlock-free: any thread waiting
+//!   on subtasks is itself a worker for them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of queued work. Jobs are type-erased and `'static`; scoped
+/// lifetimes are erased by [`Scope`](crate::scope::Scope), which
+/// guarantees the borrowed environment outlives the job by joining
+/// before it returns.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+/// One worker's deque. Owner pops the back; thieves steal the front.
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl WorkerQueue {
+    fn new() -> Self {
+        WorkerQueue {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push_back(&self, job: Job) {
+        self.jobs
+            .lock()
+            .expect("worker queue mutex poisoned (jobs never unwind while enqueuing)")
+            .push_back(job);
+    }
+
+    fn pop_back(&self) -> Option<Job> {
+        self.jobs
+            .lock()
+            .expect("worker queue mutex poisoned (jobs never unwind while dequeuing)")
+            .pop_back()
+    }
+
+    fn steal_front(&self) -> Option<Job> {
+        self.jobs
+            .lock()
+            .expect("worker queue mutex poisoned (jobs never unwind while stealing)")
+            .pop_front()
+    }
+}
+
+/// Queue registry: deques can outnumber live workers (a queue is created
+/// eagerly when a job is pushed before any worker exists; the helper
+/// loops of joining scopes drain it).
+struct Registry {
+    queues: Vec<Arc<WorkerQueue>>,
+    /// Number of worker threads actually spawned (`<= queues.len()`).
+    workers: usize,
+}
+
+/// State shared between the pool handle, its workers, and scopes.
+pub(crate) struct PoolShared {
+    registry: Mutex<Registry>,
+    /// Round-robin cursor for external submissions.
+    next_queue: AtomicUsize,
+    /// Number of jobs currently queued (approximate wake-up signal).
+    pending: AtomicUsize,
+    /// Sleeping workers wait here for new work.
+    sleep_lock: Mutex<()>,
+    sleep_signal: Condvar,
+}
+
+thread_local! {
+    /// Index of the worker deque owned by this thread, if it is a pool
+    /// worker. Used to keep nested spawns local and to start steal scans
+    /// at the right place.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl PoolShared {
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry
+            .lock()
+            .expect("pool registry mutex poisoned (registry ops never unwind)")
+    }
+
+    /// Queues a job: a worker pushes to its own deque, everyone else
+    /// round-robins. Wakes one sleeper.
+    pub(crate) fn push_job(self: &Arc<Self>, job: Job) {
+        let own = WORKER_INDEX.with(|w| w.get());
+        {
+            let mut registry = self.lock_registry();
+            if registry.queues.is_empty() {
+                // No workers yet: park the job in a fresh queue; the
+                // helper loop of the submitting scope will run it.
+                registry.queues.push(Arc::new(WorkerQueue::new()));
+            }
+            let n = registry.queues.len();
+            let idx = match own {
+                Some(i) if i < n => i,
+                _ => self.next_queue.fetch_add(1, Ordering::Relaxed) % n,
+            };
+            registry.queues[idx].push_back(job);
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        let _guard = self
+            .sleep_lock
+            .lock()
+            .expect("pool sleep mutex poisoned (nothing unwinds under it)");
+        self.sleep_signal.notify_one();
+    }
+
+    /// Tries to take one queued job: own deque first (LIFO), then steal
+    /// from siblings (FIFO), scanning the ring starting at this thread's
+    /// position.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        let own = WORKER_INDEX.with(|w| w.get());
+        let queues: Vec<Arc<WorkerQueue>> = {
+            let registry = self.lock_registry();
+            registry.queues.clone()
+        };
+        let n = queues.len();
+        if n == 0 {
+            return None;
+        }
+        if let Some(i) = own {
+            if i < n {
+                if let Some(job) = queues[i].pop_back() {
+                    self.pending.fetch_sub(1, Ordering::Release);
+                    return Some(job);
+                }
+            }
+        }
+        let start = own.unwrap_or(0) % n;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if let Some(job) = queues[i].steal_front() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// `true` when some job is queued (cheap pre-check for helpers).
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire) > 0
+    }
+
+    fn worker_loop(self: Arc<Self>, index: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(index)));
+        loop {
+            if let Some(job) = self.try_pop() {
+                // Jobs are panic-wrapped by the scope that spawned them;
+                // a raw panic here would only mean a bug in the pool
+                // itself, and killing the worker thread is then the
+                // least-bad outcome.
+                job();
+                continue;
+            }
+            let guard = self
+                .sleep_lock
+                .lock()
+                .expect("pool sleep mutex poisoned (nothing unwinds under it)");
+            if self.pending.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            // Timed wait as a lost-wakeup backstop; the pool is global and
+            // lives for the process, so idle ticks are cheap.
+            let _ = self
+                .sleep_signal
+                .wait_timeout(guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// Handle to the work-stealing pool. Cloning is cheap (an `Arc`).
+#[derive(Clone)]
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+}
+
+impl ThreadPool {
+    /// Creates an empty pool (no workers yet; they are added by
+    /// [`ThreadPool::ensure_workers`]). Prefer [`ThreadPool::global`]:
+    /// worker threads are never torn down, so every independent pool
+    /// costs its workers for the life of the process.
+    pub fn new() -> Self {
+        ThreadPool {
+            shared: Arc::new(PoolShared {
+                registry: Mutex::new(Registry {
+                    queues: Vec::new(),
+                    workers: 0,
+                }),
+                next_queue: AtomicUsize::new(0),
+                pending: AtomicUsize::new(0),
+                sleep_lock: Mutex::new(()),
+                sleep_signal: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool. Created on first use; workers are spawned
+    /// lazily as callers request parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(ThreadPool::new)
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+
+    /// Current number of spawned worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.lock_registry().workers
+    }
+
+    /// Grows the pool to at least `n` workers (it never shrinks). The
+    /// caller thread itself also executes work while joining scopes, so a
+    /// parallelism of `t` needs only `t - 1` workers.
+    pub fn ensure_workers(&self, n: usize) {
+        let mut registry = self.shared.lock_registry();
+        while registry.workers < n {
+            let index = registry.workers;
+            if registry.queues.len() <= index {
+                registry.queues.push(Arc::new(WorkerQueue::new()));
+            }
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("depminer-worker-{index}"))
+                .spawn(move || shared.worker_loop(index))
+                .expect("failed to spawn a pool worker thread");
+            registry.workers += 1;
+        }
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_grows_and_never_shrinks() {
+        let pool = ThreadPool::new();
+        assert_eq!(pool.workers(), 0);
+        pool.ensure_workers(2);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(1);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(3);
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = ThreadPool::global();
+        let b = ThreadPool::global();
+        assert!(Arc::ptr_eq(&a.shared, &b.shared));
+    }
+
+    #[test]
+    fn jobs_queued_before_workers_are_not_lost() {
+        let pool = ThreadPool::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.shared.push_job(Box::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(pool.shared.has_pending());
+        // No workers: a helper (here, the test thread) drains the queue.
+        let job = pool
+            .shared
+            .try_pop()
+            .expect("job parked in placeholder queue");
+        job();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

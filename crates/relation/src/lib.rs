@@ -40,6 +40,7 @@ pub mod value;
 
 pub use algebra::{natural_join, project, same_instance};
 pub use attrset::{retain_maximal, retain_minimal, AttrSet, MAX_ATTRS};
+pub use depminer_parallel::Parallelism;
 pub use error::RelationError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use generator::{benchmark_cell, SyntheticConfig};

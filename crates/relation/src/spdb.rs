@@ -20,11 +20,20 @@ pub struct StrippedPartitionDb {
 }
 
 impl StrippedPartitionDb {
-    /// Extracts `r̂` from a relation (the pre-processing phase).
+    /// Extracts `r̂` from a relation (the pre-processing phase), using the
+    /// process default parallelism (see
+    /// [`Parallelism`](depminer_parallel::Parallelism)).
     pub fn from_relation(r: &Relation) -> Self {
-        let partitions = (0..r.arity())
-            .map(|a| StrippedPartition::for_attribute(r, a))
-            .collect();
+        Self::from_relation_with(r, depminer_parallel::Parallelism::Auto)
+    }
+
+    /// Extracts `r̂` with an explicit thread-count setting. Per-attribute
+    /// partitions are independent, so extraction fans out across columns;
+    /// the result is identical at every thread count.
+    pub fn from_relation_with(r: &Relation, par: depminer_parallel::Parallelism) -> Self {
+        let partitions = depminer_parallel::par_map_indexed(par, r.arity(), |a| {
+            StrippedPartition::for_attribute(r, a)
+        });
         let db = StrippedPartitionDb {
             schema: r.schema().clone(),
             partitions,
@@ -266,6 +275,22 @@ mod tests {
                 if i != j {
                     assert!(!a.iter().all(|t| b.contains(t)), "MC class {a:?} ⊆ {b:?}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential() {
+        use depminer_parallel::Parallelism;
+        let r = crate::generator::SyntheticConfig::new(9, 300, 0.4)
+            .generate()
+            .unwrap();
+        let seq = StrippedPartitionDb::from_relation_with(&r, Parallelism::Sequential);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            let p = StrippedPartitionDb::from_relation_with(&r, par);
+            assert_eq!(p.n_rows(), seq.n_rows());
+            for a in 0..r.arity() {
+                assert_eq!(p.partition(a), seq.partition(a), "partition {a} diverges");
             }
         }
     }

@@ -12,11 +12,16 @@
 //! crafted and random relations.
 
 use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_parallel::{par_chunks, par_map, Parallelism};
 use depminer_relation::{
     AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, Schema, StrippedPartition,
     StrippedPartitionDb,
 };
 use std::time::{Duration, Instant};
+
+/// Lattice levels narrower than this run on the calling thread even under
+/// a parallel setting: the fan-out overhead dominates tiny levels.
+const PAR_LEVEL_THRESHOLD: usize = 8;
 
 /// Statistics about a TANE run (for the benchmark harness and tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +90,11 @@ pub struct Tane {
     pub rhs_pruning: bool,
     /// Enable superkey pruning (on in the paper).
     pub key_pruning: bool,
+    /// Thread-count setting for the per-level loops (defaults to
+    /// [`Parallelism::Auto`]). Levels are natural barriers — level `l+1`
+    /// only starts once level `l` has fully completed — and the mined FDs
+    /// are identical at every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for Tane {
@@ -99,6 +109,7 @@ impl Tane {
         Tane {
             rhs_pruning: true,
             key_pruning: true,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -114,9 +125,15 @@ impl Tane {
         self
     }
 
+    /// Selects the thread-count setting for the per-level loops.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Mines a relation (computing per-attribute stripped partitions first).
     pub fn run(&self, r: &Relation) -> TaneResult {
-        let db = StrippedPartitionDb::from_relation(r);
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
         self.run_db(&db)
     }
 
@@ -155,20 +172,38 @@ impl Tane {
             stats.levels = l;
             stats.candidates += level.len();
 
+            // Narrow levels stay on the calling thread; level boundaries
+            // are natural barriers either way.
+            let par = if level.len() >= PAR_LEVEL_THRESHOLD {
+                self.parallelism
+            } else {
+                Parallelism::Sequential
+            };
+
             // --- COMPUTE_DEPENDENCIES -----------------------------------
-            for &x in &level {
-                let c = x
-                    .iter()
+            // C⁺(X) of this level only reads level-(l−1) entries, so the
+            // intersections fan out; insertion replays in level order.
+            let cs: Vec<AttrSet> = par_map(par, &level, |&x| {
+                x.iter()
                     .map(|a| cplus[&x.without(a)])
-                    .fold(full, AttrSet::intersection);
+                    .fold(full, AttrSet::intersection)
+            });
+            for (&x, c) in level.iter().zip(cs) {
                 cplus.insert(x, c);
             }
-            for &x in &level {
+            // Each X's dependency checks read only prev-level partitions
+            // and its own C⁺ (which evolves locally as attributes are
+            // removed), so they fan out too; the (new C⁺, emitted FDs)
+            // outcomes are applied in level order afterwards, keeping the
+            // FD emission order identical to the sequential run.
+            let outcomes: Vec<(AttrSet, Vec<Fd>)> = par_map(par, &level, |&x| {
+                let mut c = cplus[&x];
                 // Without rhs pruning, test every attribute of X; C⁺ is
                 // still *maintained* (the key-pruning minimality test needs
                 // it) but not used to skip validity checks.
-                let cx = if self.rhs_pruning { cplus[&x] } else { full };
+                let cx = if self.rhs_pruning { c } else { full };
                 let ex = err(&parts[&x]);
+                let mut found: Vec<Fd> = Vec::new();
                 for a in x.intersection(cx).iter() {
                     let xa = x.without(a);
                     let e_sub = if xa.is_empty() {
@@ -178,14 +213,18 @@ impl Tane {
                     };
                     if e_sub == ex {
                         // X\{A} → A is valid; minimal iff C⁺ still allows A.
-                        if cplus[&x].contains(a) {
-                            fds.push(Fd::new(xa, a));
+                        if c.contains(a) {
+                            found.push(Fd::new(xa, a));
                         }
-                        let c = cplus.get_mut(&x).expect("inserted above");
                         c.remove(a);
-                        *c = c.difference(full.difference(x));
+                        c = c.difference(full.difference(x));
                     }
                 }
+                (c, found)
+            });
+            for (&x, (c, found)) in level.iter().zip(outcomes) {
+                cplus.insert(x, c);
+                fds.extend(found);
             }
 
             // --- PRUNE ---------------------------------------------------
@@ -211,8 +250,14 @@ impl Tane {
             }
 
             // --- GENERATE_NEXT_LEVEL ------------------------------------
-            let (next_level, next_parts) =
-                generate_next(&survivors, &parts, &mut scratch, &mut stats);
+            let (next_level, next_parts) = generate_next(
+                &survivors,
+                &parts,
+                &mut scratch,
+                &mut stats,
+                self.parallelism,
+                n_rows,
+            );
             prev_parts = std::mem::take(&mut parts);
             parts = next_parts;
             level = next_level;
@@ -251,11 +296,20 @@ fn cplus_lookup(y: AttrSet, cplus: &mut FxHashMap<AttrSet, AttrSet>) -> AttrSet 
 
 /// Prefix-join generation with Apriori pruning; partitions of new nodes are
 /// products of their generating pair.
+///
+/// Candidate pairs are collected first (cheap set algebra, sequential),
+/// deduplicated by their union `Z` — the sequential formulation recomputed
+/// the product once per generating pair — and the surviving partition
+/// products, the dominant per-level cost, fan out across threads with one
+/// [`ProductScratch`] per chunk. Pairs are sorted by `Z` before the
+/// fan-out, so chunk boundaries and the returned level are deterministic.
 fn generate_next(
     survivors: &[AttrSet],
     parts: &FxHashMap<AttrSet, StrippedPartition>,
     scratch: &mut ProductScratch,
     stats: &mut TaneStats,
+    par: Parallelism,
+    n_rows: usize,
 ) -> (Vec<AttrSet>, FxHashMap<AttrSet, StrippedPartition>) {
     let present: FxHashSet<AttrSet> = survivors.iter().copied().collect();
     let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
@@ -263,23 +317,44 @@ fn generate_next(
         let m = x.max_attr().expect("level sets are non-empty");
         by_prefix.entry(x.without(m)).or_default().push(x);
     }
-    let mut next: Vec<AttrSet> = Vec::new();
-    let mut next_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
+    let mut pairs: Vec<(AttrSet, AttrSet, AttrSet)> = Vec::new();
     for (_, group) in by_prefix {
         for (i, &x) in group.iter().enumerate() {
             for &y in &group[i + 1..] {
                 let z = x.union(y);
                 if z.drop_one().all(|w| present.contains(&w)) {
-                    let p = parts[&x].product_with(&parts[&y], scratch);
-                    stats.partition_products += 1;
-                    next_parts.insert(z, p);
-                    next.push(z);
+                    pairs.push((x, y, z));
                 }
             }
         }
     }
-    next.sort_unstable();
-    next.dedup();
+    // One product per lattice node: order by Z, keep the smallest
+    // generating pair of each.
+    pairs.sort_unstable_by_key(|&(x, y, z)| (z, x, y));
+    pairs.dedup_by_key(|p| p.2);
+    stats.partition_products += pairs.len();
+    let produced: Vec<StrippedPartition> =
+        if pairs.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
+            let chunk = pairs.len().div_ceil(par.effective_threads() * 4).max(1);
+            par_chunks(par, &pairs, chunk, |chunk_pairs| {
+                let mut local_scratch = ProductScratch::new(n_rows);
+                chunk_pairs
+                    .iter()
+                    .map(|&(x, y, _)| parts[&x].product_with(&parts[&y], &mut local_scratch))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            pairs
+                .iter()
+                .map(|&(x, y, _)| parts[&x].product_with(&parts[&y], scratch))
+                .collect()
+        };
+    let next: Vec<AttrSet> = pairs.iter().map(|p| p.2).collect();
+    let next_parts: FxHashMap<AttrSet, StrippedPartition> =
+        next.iter().copied().zip(produced).collect();
     (next, next_parts)
 }
 
@@ -394,6 +469,25 @@ mod tests {
                     "trial {trial}: pruning-off explored fewer candidates"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_tane_matches_sequential() {
+        let r = depminer_relation::SyntheticConfig::new(7, 150, 0.5)
+            .generate()
+            .unwrap();
+        let seq = Tane::new()
+            .with_parallelism(Parallelism::Sequential)
+            .run(&r);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            let p = Tane::new().with_parallelism(par).run(&r);
+            assert_eq!(p.fds, seq.fds, "{par:?}");
+            assert_eq!(p.stats.candidates, seq.stats.candidates, "{par:?}");
+            assert_eq!(
+                p.stats.partition_products, seq.stats.partition_products,
+                "{par:?}"
+            );
         }
     }
 

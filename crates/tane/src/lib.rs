@@ -38,4 +38,5 @@ pub use approx::{
     g3_error_of, ApproxFd,
 };
 pub use armstrong_ext::{max_sets_from_fds, max_union_from_fds};
+pub use depminer_parallel::Parallelism;
 pub use exact::{lhs_families_from_fds, Tane, TaneResult, TaneStats};

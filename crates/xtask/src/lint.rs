@@ -1,15 +1,16 @@
 //! The lint engine: a dependency-free, line/token-level static-analysis
 //! pass over the workspace's own sources.
 //!
-//! Five project-specific rules (see DESIGN.md "Correctness tooling"):
+//! Six project-specific rules (see DESIGN.md "Correctness tooling"):
 //!
-//! | rule             | what it flags                                          |
-//! |------------------|--------------------------------------------------------|
-//! | `no-panic`       | `.unwrap()`, `.expect("")`, `panic!` in library code   |
-//! | `default-hasher` | `HashMap`/`HashSet` with the default (SipHash) hasher  |
-//! | `unordered-iter` | hash-map iteration feeding ordered output, no sort     |
-//! | `attr-count`     | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
-//! | `header-hygiene` | `lib.rs` missing the `#![warn(missing_docs)]` header   |
+//! | rule               | what it flags                                          |
+//! |--------------------|--------------------------------------------------------|
+//! | `no-panic`         | `.unwrap()`, `.expect("")`, `panic!` in library code   |
+//! | `default-hasher`   | `HashMap`/`HashSet` with the default (SipHash) hasher  |
+//! | `unordered-iter`   | hash-map iteration feeding ordered output, no sort     |
+//! | `attr-count`       | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
+//! | `header-hygiene`   | `lib.rs` missing the `#![warn(missing_docs)]` header   |
+//! | `raw-thread-spawn` | `thread::spawn`/`thread::Builder` outside the parallel runtime |
 //!
 //! Scope: test code is exempt — files under `tests/`, `benches/`,
 //! `examples/`, `fixtures/`, and in-file `#[cfg(test)]` modules. Any
@@ -25,12 +26,13 @@
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
     "attr-count",
     "header-hygiene",
+    "raw-thread-spawn",
 ];
 
 /// One finding: a rule violated at a file:line location.
@@ -490,6 +492,46 @@ fn check_attr_count(
     }
 }
 
+/// `true` for files belonging to the in-tree parallel runtime, the one
+/// place allowed to create OS threads.
+fn path_in_parallel_runtime(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.starts_with("crates/parallel/") || norm.contains("/crates/parallel/")
+}
+
+/// Rule `raw-thread-spawn`: raw thread creation (`thread::spawn`,
+/// `thread::Builder`) is confined to `crates/parallel`. Everywhere else
+/// must go through the work-stealing pool's scoped API, so thread counts
+/// honor the `Parallelism` knob and the `DEPMINER_THREADS` override, and
+/// panics propagate instead of killing detached threads.
+fn check_raw_thread_spawn(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if path_in_parallel_runtime(path) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "raw-thread-spawn") {
+            continue;
+        }
+        for token in ["thread::spawn", "thread::Builder"] {
+            if has_token(&line.code, token) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "raw-thread-spawn",
+                    message: format!(
+                        "`{token}` outside crates/parallel; use the depminer-parallel pool (scope/par_map) so `DEPMINER_THREADS` and panic propagation apply"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Rule `header-hygiene`: every `lib.rs` must carry
 /// `#![warn(missing_docs)]` (or the stricter `#![deny(warnings)]`) near
 /// the top, so undocumented public items fail `cargo test` under the
@@ -536,6 +578,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
         check_default_hasher(path, &lines, &in_test, &mut out);
         check_unordered_iter(path, &lines, &in_test, &mut out);
         check_attr_count(path, &lines, &in_test, &mut out);
+        check_raw_thread_spawn(path, &lines, &in_test, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -663,6 +706,42 @@ mod tests {
         // Only lib.rs is held to the header rule.
         let other = lint_file("crates/demo/src/util.rs", "pub fn f() {}\n");
         assert!(other.is_empty(), "{other:?}");
+    }
+
+    #[test]
+    fn raw_thread_spawn_flags_spawn_and_builder() {
+        let diags = lint(
+            "fn f() {\n    std::thread::spawn(|| {});\n    let b = thread::Builder::new();\n    let _ = b;\n}\n",
+        );
+        assert_eq!(rules(&diags), ["raw-thread-spawn", "raw-thread-spawn"]);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("thread::spawn"));
+        assert_eq!(diags[1].line, 4);
+        assert!(diags[1].message.contains("thread::Builder"));
+    }
+
+    #[test]
+    fn raw_thread_spawn_allows_parallel_runtime_and_tests() {
+        let body = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let src = format!("{HEADER}{body}");
+        // The parallel runtime is the one place allowed to spawn.
+        let pool = lint_file("crates/parallel/src/pool.rs", &src);
+        assert!(pool.is_empty(), "{pool:?}");
+        // Test code is exempt like every code-level rule.
+        let test_mod = lint(
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        std::thread::spawn(|| {});\n    }\n}\n",
+        );
+        assert!(test_mod.is_empty(), "{test_mod:?}");
+        // Unrelated identifiers don't trip the token match.
+        let near_miss = lint("fn f() {\n    scope.spawn(|| {});\n    pool_thread::spawner();\n}\n");
+        assert!(near_miss.is_empty(), "{near_miss:?}");
+    }
+
+    #[test]
+    fn raw_thread_spawn_escape_hatch() {
+        let diags =
+            lint("fn f() {\n    std::thread::spawn(|| {}); // lint: allow(raw-thread-spawn)\n}\n");
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

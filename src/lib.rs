@@ -48,12 +48,15 @@ pub use depminer_fdep as fdep;
 pub use depminer_fdtheory as fdtheory;
 pub use depminer_hypergraph as hypergraph;
 pub use depminer_ind as ind;
+pub use depminer_parallel as parallel;
 pub use depminer_relation as relation;
 pub use depminer_tane as tane;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use depminer_core::{AgreeSetStrategy, DepMiner, MiningResult, TransversalEngine};
+    pub use depminer_core::{
+        AgreeSetStrategy, DepMiner, MiningResult, Parallelism, TransversalEngine,
+    };
     pub use depminer_fdep::Fdep;
     pub use depminer_fdtheory::Fd;
     pub use depminer_relation::{

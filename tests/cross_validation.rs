@@ -66,6 +66,7 @@ fn all_miners_agree_with_oracle() {
             DepMiner {
                 strategy: AgreeSetStrategy::Naive,
                 engine: TransversalEngine::Levelwise,
+                ..DepMiner::new()
             },
         ];
         for miner in miners {
