@@ -21,7 +21,18 @@ DEPMINER_THREADS=1 cargo test -q
 echo "==> cargo test -q (DEPMINER_THREADS=4, parallel runtime)"
 DEPMINER_THREADS=4 cargo test -q
 
+echo "==> chaos pass: fault injection (DEPMINER_THREADS=1)"
+DEPMINER_THREADS=1 cargo test -q --features faults
+
+echo "==> chaos pass: fault injection (DEPMINER_THREADS=4)"
+DEPMINER_THREADS=4 cargo test -q --features faults
+
 echo "==> parallel scaling benchmark -> BENCH_parallel.json"
 cargo run --release -q -p depminer-bench --bin parallel_scaling -- --reps 2
+
+echo "==> governance overhead benchmark -> BENCH_govern.json"
+# Larger rows + best-of-5: single-run jitter on a small box exceeds the
+# ~1% effect being measured.
+cargo run --release -q -p depminer-bench --bin govern_overhead -- --rows 20000 --reps 5
 
 echo "ci.sh: all gates green"

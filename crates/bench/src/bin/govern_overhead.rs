@@ -1,0 +1,158 @@
+//! Checkpointing-overhead benchmark for the governance layer (ISSUE:
+//! BENCH_govern).
+//!
+//! Runs the Table-2 synthetic workload (default |R|=20, |r|=10 000,
+//! correlation 0.5) end-to-end through Dep-Miner and TANE twice per
+//! configuration: once ungoverned (the unlimited-token fast path) and
+//! once under a fully armed but generous `Budget` (wall-clock deadline,
+//! couple, and candidate caps all set far above what the run needs), so
+//! every cooperative checkpoint performs its real deadline/counter work
+//! without ever tripping. The delta is the cost of governance; the
+//! acceptance target is <2% overhead.
+//!
+//! ```text
+//! cargo run --release -p depminer-bench --bin govern_overhead -- \
+//!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_govern.json]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use depminer_core::{Budget, DepMiner};
+use depminer_relation::{Relation, SyntheticConfig};
+use depminer_tane::Tane;
+
+struct Sample {
+    algo: &'static str,
+    ungoverned_s: f64,
+    governed_s: f64,
+}
+
+impl Sample {
+    fn overhead_pct(&self) -> f64 {
+        (self.governed_s / self.ungoverned_s - 1.0) * 100.0
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A budget with every governor armed but none remotely close to
+/// tripping: checkpoints pay full freight (deadline reads, counter
+/// updates) and the run still completes.
+fn generous_budget() -> Budget {
+    Budget::unlimited()
+        .with_timeout(Duration::from_secs(3600))
+        .with_max_couples(u64::MAX / 2)
+        .with_max_candidates(u64::MAX / 2)
+}
+
+fn run(r: &Relation, reps: usize) -> Vec<Sample> {
+    let budget = generous_budget();
+
+    let miner = DepMiner::new();
+    let depminer_ungoverned = time_best(reps, || {
+        let m = miner.mine(r);
+        assert!(!m.fds.is_empty() || r.arity() < 2, "workload found no FDs");
+    });
+    let depminer_governed = time_best(reps, || {
+        let outcome = miner.mine_governed(r, &budget);
+        assert!(outcome.is_complete(), "generous budget must not trip");
+    });
+
+    let tane = Tane::new();
+    let tane_ungoverned = time_best(reps, || {
+        tane.run(r);
+    });
+    let tane_governed = time_best(reps, || {
+        let outcome = tane.run_governed(r, &budget);
+        assert!(outcome.is_complete(), "generous budget must not trip");
+    });
+
+    vec![
+        Sample {
+            algo: "depminer",
+            ungoverned_s: depminer_ungoverned,
+            governed_s: depminer_governed,
+        },
+        Sample {
+            algo: "tane",
+            ungoverned_s: tane_ungoverned,
+            governed_s: tane_governed,
+        },
+    ]
+}
+
+fn main() {
+    let mut n_attrs = 20usize;
+    let mut n_rows = 10_000usize;
+    let mut correlation = 0.5f64;
+    let mut reps = 3usize;
+    let mut out = String::from("BENCH_govern.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_default();
+        match a.as_str() {
+            "--attrs" => n_attrs = next().parse().expect("--attrs takes an integer"),
+            "--rows" => n_rows = next().parse().expect("--rows takes an integer"),
+            "--correlation" => correlation = next().parse().expect("--correlation takes a float"),
+            "--reps" => reps = next().parse().expect("--reps takes an integer"),
+            "--out" => out = next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let r = SyntheticConfig {
+        n_attrs,
+        n_rows,
+        correlation,
+        seed: 9,
+    }
+    .generate()
+    .expect("valid generator parameters");
+    eprintln!("govern_overhead: |R|={n_attrs} |r|={n_rows} correlation={correlation} reps={reps}");
+
+    let samples = run(&r, reps);
+    for s in &samples {
+        eprintln!(
+            "  {:<9} ungoverned {:>8.3}s  governed {:>8.3}s  overhead {:>+6.2}%",
+            s.algo,
+            s.ungoverned_s,
+            s.governed_s,
+            s.overhead_pct()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"n_attrs\": {n_attrs}, \"n_rows\": {n_rows}, \
+         \"correlation\": {correlation}, \"seed\": 9}},\n"
+    ));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"target_overhead_pct\": 2.0,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"ungoverned_s\": {:.6}, \"governed_s\": {:.6}, \
+             \"overhead_pct\": {:.3}}}{}\n",
+            s.algo,
+            s.ungoverned_s,
+            s.governed_s,
+            s.overhead_pct(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write benchmark summary");
+    println!("wrote {out}");
+}

@@ -30,9 +30,20 @@
 //! carries no information for maximal sets beyond what the constant-attribute
 //! corner handles explicitly (see [`crate::maxset`]), and Algorithms 2/3
 //! never materialize it, so it is uniformly excluded here.
+//!
+//! Every strategy also has a `_governed` variant threading a
+//! [`CancelToken`]: couples are counted against the budget one equivalence
+//! class (or one row) at a time, the couple buffer is charged to the memory
+//! cap, and partition scans poll the token. A tripped run returns the agree
+//! sets accumulated from fully-flushed batches — a valid *subset* of
+//! `ag(r)` usable for diagnostics, never for downstream derivation.
 
-use depminer_parallel::{par_chunks, Parallelism};
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
+use depminer_parallel::{par_chunks, par_chunks_governed, Parallelism, GOVERN_POLL_STRIDE};
 use depminer_relation::{AttrSet, FxHashMap, FxHashSet, Relation, StrippedPartitionDb};
+
+/// Bytes one buffered couple occupies, for the approximate memory cap.
+const COUPLE_BYTES: u64 = std::mem::size_of::<(u32, u32)>() as u64;
 
 /// Which agree-set algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,15 +131,31 @@ pub fn agree_sets_with(
     strategy: AgreeSetStrategy,
     par: Parallelism,
 ) -> AgreeSets {
+    agree_sets_governed(db, strategy, par, &CancelToken::unlimited()).0
+}
+
+/// [`agree_sets_with`] under a live [`CancelToken`].
+///
+/// Returns the agree sets accumulated so far together with the budget
+/// error, if the token tripped. A partial result is exactly the flushed
+/// prefix of the couple stream — a valid subset of `ag(r)`.
+pub fn agree_sets_governed(
+    db: &StrippedPartitionDb,
+    strategy: AgreeSetStrategy,
+    par: Parallelism,
+    token: &CancelToken,
+) -> (AgreeSets, Option<BudgetExceeded>) {
     match strategy {
         AgreeSetStrategy::Naive => {
             // Reconstruct pairwise agreement from the partition db itself so
             // all strategies share one input (the db is informationally
             // equivalent to r, §3.1).
-            naive_from_db(db, par)
+            naive_from_db_governed(db, par, token)
         }
-        AgreeSetStrategy::Couples { chunk_size } => agree_sets_couples_with(db, chunk_size, par),
-        AgreeSetStrategy::EquivalenceClasses => agree_sets_ec_with(db, par),
+        AgreeSetStrategy::Couples { chunk_size } => {
+            agree_sets_couples_governed(db, chunk_size, par, token)
+        }
+        AgreeSetStrategy::EquivalenceClasses => agree_sets_ec_governed(db, par, token),
     }
 }
 
@@ -187,33 +214,49 @@ pub fn agree_sets_naive(r: &Relation) -> AgreeSets {
 /// tuple's attribute-agreement is reconstructed via `ec` sets. Used as the
 /// `Naive` strategy when only a db is available. Row ranges fan out across
 /// threads; each worker intersects its rows against all later rows into a
-/// thread-local set.
-fn naive_from_db(db: &StrippedPartitionDb, par: Parallelism) -> AgreeSets {
+/// thread-local set, checkpointing once per row (each row's couple scan is
+/// O(n) work, so a finer poll would be noise).
+fn naive_from_db_governed(
+    db: &StrippedPartitionDb,
+    par: Parallelism,
+    token: &CancelToken,
+) -> (AgreeSets, Option<BudgetExceeded>) {
+    let stage = Stage::AgreeSets;
     let ec = db.equivalence_class_ids();
     let n = db.n_rows();
     let rows: Vec<usize> = (0..n).collect();
     // High oversubscription: chunk i's workload shrinks with i (triangular
     // loop), so small chunks keep the stealing balanced.
-    let locals: Vec<FxHashSet<AttrSet>> =
+    let locals: Vec<(FxHashSet<AttrSet>, Option<BudgetExceeded>)> =
         par_chunks(par, &rows, chunk_len(n, par, 8), |row_chunk| {
             let mut local: FxHashSet<AttrSet> = FxHashSet::default();
             for &i in row_chunk {
+                // Count the row's couples before scanning them; a trip
+                // keeps the rows already scanned (a valid ag(r) subset).
+                if let Err(why) = token.add_couples((n - 1 - i) as u64, stage) {
+                    return (local, Some(why));
+                }
                 for j in (i + 1)..n {
                     local.insert(intersect_ec(&ec[i], &ec[j]));
                 }
             }
-            local
+            (local, None)
         });
     let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
+    let mut stopped: Option<BudgetExceeded> = None;
     // set-union merge is order-insensitive; lint: allow(unordered-iter)
-    for local in locals {
+    for (local, why) in locals {
         seen.extend(local);
+        stopped = stopped.or(why);
     }
-    AgreeSets::from_raw(
-        seen.into_iter().collect(),
-        db.arity(),
-        db.n_rows(),
-        db.constant_attrs(),
+    (
+        AgreeSets::from_raw(
+            seen.into_iter().collect(),
+            db.arity(),
+            db.n_rows(),
+            db.constant_attrs(),
+        ),
+        stopped,
     )
 }
 
@@ -233,28 +276,65 @@ pub fn agree_sets_couples_with(
     chunk_size: Option<usize>,
     par: Parallelism,
 ) -> AgreeSets {
+    agree_sets_couples_governed(db, chunk_size, par, &CancelToken::unlimited()).0
+}
+
+/// [`agree_sets_couples_with`] under a live [`CancelToken`]: one
+/// checkpoint per maximal class (its couple count is charged before any
+/// couple is generated, the buffer growth against the memory cap), plus
+/// the governed flush. On a trip the fully-flushed batches are returned.
+pub fn agree_sets_couples_governed(
+    db: &StrippedPartitionDb,
+    chunk_size: Option<usize>,
+    par: Parallelism,
+    token: &CancelToken,
+) -> (AgreeSets, Option<BudgetExceeded>) {
+    let stage = Stage::AgreeSets;
     let mc = db.maximal_classes();
     let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
     // couples: (t, t') with t < t', buffered until the flush threshold
     // (lines 4–9 of Algorithm 2).
     let mut couples: Vec<(u32, u32)> = Vec::new();
-    for class in &mc {
+    let mut reserved: u64 = 0;
+    let mut stopped: Option<BudgetExceeded> = None;
+    'classes: for class in &mc {
+        let pairs = (class.len() * (class.len() - 1) / 2) as u64;
+        if let Err(why) = token
+            .add_couples(pairs, stage)
+            .and_then(|()| token.reserve_memory(pairs * COUPLE_BYTES, stage))
+        {
+            stopped = Some(why);
+            break;
+        }
+        reserved += pairs * COUPLE_BYTES;
         for (k, &t) in class.iter().enumerate() {
             for &u in &class[k + 1..] {
                 couples.push(if t < u { (t, u) } else { (u, t) });
                 if couples.len() >= threshold {
-                    flush_couples(db, &mut couples, &mut ag, par);
+                    let freed = couples.len() as u64 * COUPLE_BYTES;
+                    if let Err(why) = flush_couples(db, &mut couples, &mut ag, par, token) {
+                        stopped = Some(why);
+                        break 'classes;
+                    }
+                    token.release_memory(freed);
+                    reserved = reserved.saturating_sub(freed);
                 }
             }
         }
     }
-    flush_couples(db, &mut couples, &mut ag, par);
-    AgreeSets::from_raw(
-        ag.into_iter().collect(),
-        db.arity(),
-        db.n_rows(),
-        db.constant_attrs(),
+    if stopped.is_none() {
+        stopped = flush_couples(db, &mut couples, &mut ag, par, token).err();
+    }
+    token.release_memory(reserved);
+    (
+        AgreeSets::from_raw(
+            ag.into_iter().collect(),
+            db.arity(),
+            db.n_rows(),
+            db.constant_attrs(),
+        ),
+        stopped,
     )
 }
 
@@ -268,14 +348,19 @@ pub fn agree_sets_couples_with(
 /// of columns into a dense per-couple accumulator indexed by the couple's
 /// position in the sorted buffer; the per-worker accumulators are merged by
 /// attribute-set union, which is order-insensitive.
+///
+/// The token is polled once per attribute inside each worker (a column
+/// scan is the unit of work). A tripped flush adds nothing to `ag` — the
+/// batch is all-or-nothing, keeping partial results at clean boundaries.
 fn flush_couples(
     db: &StrippedPartitionDb,
     couples: &mut Vec<(u32, u32)>,
     ag: &mut FxHashSet<AttrSet>,
     par: Parallelism,
-) {
+    token: &CancelToken,
+) -> Result<(), BudgetExceeded> {
     if couples.is_empty() {
-        return;
+        return Ok(());
     }
     couples.sort_unstable();
     couples.dedup();
@@ -286,10 +371,16 @@ fn flush_couples(
         .map(|(i, &c)| (c, i as u32))
         .collect();
     let attrs: Vec<usize> = (0..db.arity()).collect();
-    let partials: Vec<Vec<AttrSet>> =
-        par_chunks(par, &attrs, chunk_len(attrs.len(), par, 2), |attr_chunk| {
+    let partials: Vec<Vec<AttrSet>> = par_chunks_governed(
+        par,
+        token,
+        Stage::AgreeSets,
+        &attrs,
+        chunk_len(attrs.len(), par, 2),
+        |attr_chunk| {
             let mut local = vec![AttrSet::empty(); n];
             for &a in attr_chunk {
+                token.check(Stage::AgreeSets)?;
                 for class in db.partition(a).classes() {
                     for (k, &t) in class.iter().enumerate() {
                         for &u in &class[k + 1..] {
@@ -301,8 +392,9 @@ fn flush_couples(
                     }
                 }
             }
-            local
-        });
+            Ok(local)
+        },
+    )?;
     let mut merged = vec![AttrSet::empty(); n];
     for partial in partials {
         for (m, p) in merged.iter_mut().zip(partial) {
@@ -311,6 +403,7 @@ fn flush_couples(
     }
     ag.extend(merged);
     couples.clear();
+    Ok(())
 }
 
 /// Ablation variant of Algorithm 2 *without* the maximal-class reduction:
@@ -330,6 +423,7 @@ pub fn agree_sets_couples_no_mc_with(
     chunk_size: Option<usize>,
     par: Parallelism,
 ) -> AgreeSets {
+    let token = CancelToken::unlimited();
     let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
     let mut couples: Vec<(u32, u32)> = Vec::new();
@@ -339,13 +433,14 @@ pub fn agree_sets_couples_no_mc_with(
                 for &u in &class[k + 1..] {
                     couples.push(if t < u { (t, u) } else { (u, t) });
                     if couples.len() >= threshold {
-                        flush_couples(db, &mut couples, &mut ag, par);
+                        flush_couples(db, &mut couples, &mut ag, par, &token)
+                            .expect("an unlimited token never trips");
                     }
                 }
             }
         }
     }
-    flush_couples(db, &mut couples, &mut ag, par);
+    flush_couples(db, &mut couples, &mut ag, par, &token).expect("an unlimited token never trips");
     AgreeSets::from_raw(
         ag.into_iter().collect(),
         db.arity(),
@@ -367,36 +462,74 @@ pub fn agree_sets_ec(db: &StrippedPartitionDb) -> AgreeSets {
 /// `done`-set of the sequential formulation), then the intersections fan
 /// out across threads with a thread-local accumulator per chunk.
 pub fn agree_sets_ec_with(db: &StrippedPartitionDb, par: Parallelism) -> AgreeSets {
+    agree_sets_ec_governed(db, par, &CancelToken::unlimited()).0
+}
+
+/// [`agree_sets_ec_with`] under a live [`CancelToken`]: couple
+/// materialization checkpoints per maximal class (count + buffer memory);
+/// the intersection scan polls every [`GOVERN_POLL_STRIDE`] couples. If
+/// the budget trips during materialization no intersections are computed
+/// (the heavy phase is skipped once the run is doomed); a trip during the
+/// scan keeps the intersections already done — a valid `ag(r)` subset.
+pub fn agree_sets_ec_governed(
+    db: &StrippedPartitionDb,
+    par: Parallelism,
+    token: &CancelToken,
+) -> (AgreeSets, Option<BudgetExceeded>) {
+    let stage = Stage::AgreeSets;
     let ec = db.equivalence_class_ids();
     let mc = db.maximal_classes();
     let mut couples: Vec<(u32, u32)> = Vec::new();
+    let mut reserved: u64 = 0;
+    let mut stopped: Option<BudgetExceeded> = None;
     for class in &mc {
+        let pairs = (class.len() * (class.len() - 1) / 2) as u64;
+        if let Err(why) = token
+            .add_couples(pairs, stage)
+            .and_then(|()| token.reserve_memory(pairs * COUPLE_BYTES, stage))
+        {
+            stopped = Some(why);
+            break;
+        }
+        reserved += pairs * COUPLE_BYTES;
         for (k, &t) in class.iter().enumerate() {
             for &u in &class[k + 1..] {
                 couples.push(if t < u { (t, u) } else { (u, t) });
             }
         }
     }
-    couples.sort_unstable();
-    couples.dedup();
-    let locals: Vec<FxHashSet<AttrSet>> =
-        par_chunks(par, &couples, chunk_len(couples.len(), par, 4), |chunk| {
-            let mut local: FxHashSet<AttrSet> = FxHashSet::default();
-            for &(t, u) in chunk {
-                local.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
-            }
-            local
-        });
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
-    // set-union merge is order-insensitive; lint: allow(unordered-iter)
-    for local in locals {
-        ag.extend(local);
+    if stopped.is_none() {
+        couples.sort_unstable();
+        couples.dedup();
+        let locals: Vec<(FxHashSet<AttrSet>, Option<BudgetExceeded>)> =
+            par_chunks(par, &couples, chunk_len(couples.len(), par, 4), |chunk| {
+                let mut local: FxHashSet<AttrSet> = FxHashSet::default();
+                for (idx, &(t, u)) in chunk.iter().enumerate() {
+                    if idx % GOVERN_POLL_STRIDE == 0 {
+                        if let Err(why) = token.check(stage) {
+                            return (local, Some(why));
+                        }
+                    }
+                    local.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
+                }
+                (local, None)
+            });
+        // set-union merge is order-insensitive; lint: allow(unordered-iter)
+        for (local, why) in locals {
+            ag.extend(local);
+            stopped = stopped.or(why);
+        }
     }
-    AgreeSets::from_raw(
-        ag.into_iter().collect(),
-        db.arity(),
-        db.n_rows(),
-        db.constant_attrs(),
+    token.release_memory(reserved);
+    (
+        AgreeSets::from_raw(
+            ag.into_iter().collect(),
+            db.arity(),
+            db.n_rows(),
+            db.constant_attrs(),
+        ),
+        stopped,
     )
 }
 

@@ -11,6 +11,7 @@
 //! original relation's active domains (Definition 1, Example 13), subject to
 //! the existence condition of Proposition 1.
 
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
 use depminer_relation::{AttrSet, Relation, RelationError, Schema, Value};
 
 /// The classic integer-valued Armstrong relation for `MAX(dep(r))`
@@ -19,10 +20,24 @@ use depminer_relation::{AttrSet, Relation, RelationError, Schema, Value};
 /// `max_union` is `MAX(dep(r))` (without `R`); the result has
 /// `|max_union| + 1` tuples over `schema`.
 pub fn synthetic_armstrong(schema: &Schema, max_union: &[AttrSet]) -> Relation {
+    synthetic_armstrong_governed(schema, max_union, &CancelToken::unlimited())
+        .expect("an unlimited token never trips")
+}
+
+/// Budget-aware [`synthetic_armstrong`]: checks the token once per output
+/// tuple. Generation is all-or-nothing — a truncated tuple set is an
+/// Armstrong relation for a *different* dependency set, so a trip returns
+/// `Err` rather than a misleading prefix.
+pub fn synthetic_armstrong_governed(
+    schema: &Schema,
+    max_union: &[AttrSet],
+    token: &CancelToken,
+) -> Result<Relation, BudgetExceeded> {
     let n = schema.arity();
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(max_union.len() + 1);
     rows.push(vec![Value::Int(0); n]); // X₀ = R: all zeros
     for (i, &x) in max_union.iter().enumerate() {
+        token.check(Stage::Armstrong)?;
         let row = (0..n)
             .map(|a| {
                 if x.contains(a) {
@@ -34,7 +49,7 @@ pub fn synthetic_armstrong(schema: &Schema, max_union: &[AttrSet]) -> Relation {
             .collect();
         rows.push(row);
     }
-    Relation::from_rows(schema.clone(), rows).expect("rows match schema arity")
+    Ok(Relation::from_rows(schema.clone(), rows).expect("rows match schema arity"))
 }
 
 /// Checks Proposition 1: a real-world Armstrong relation exists iff every
@@ -74,12 +89,26 @@ pub fn real_world_armstrong(
     r: &Relation,
     max_union: &[AttrSet],
 ) -> Result<Relation, RelationError> {
+    real_world_armstrong_governed(r, max_union, &CancelToken::unlimited())
+        .expect("an unlimited token never trips")
+}
+
+/// Budget-aware [`real_world_armstrong`]: checks the token once per output
+/// tuple; all-or-nothing like [`synthetic_armstrong_governed`].
+///
+/// The outer `Result` reports a budget trip, the inner one the Proposition 1
+/// existence condition.
+pub fn real_world_armstrong_governed(
+    r: &Relation,
+    max_union: &[AttrSet],
+    token: &CancelToken,
+) -> Result<Result<Relation, RelationError>, BudgetExceeded> {
     if let Err((a, needed, available)) = real_world_exists(r, max_union) {
-        return Err(RelationError::ArmstrongNotRealizable {
+        return Ok(Err(RelationError::ArmstrongNotRealizable {
             attribute: r.schema().name(a).to_string(),
             needed,
             available,
-        });
+        }));
     }
     let n = r.arity();
     let mut next_value: Vec<usize> = vec![1; n]; // per-attribute counter; 0 is t₀'s value
@@ -87,6 +116,7 @@ pub fn real_world_armstrong(
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(max_union.len() + 1);
     rows.push((0..n).map(|a| value_of(a, 0)).collect());
     for &x in max_union {
+        token.check(Stage::Armstrong)?;
         let row = (0..n)
             .map(|a| {
                 if x.contains(a) {
@@ -100,7 +130,7 @@ pub fn real_world_armstrong(
             .collect();
         rows.push(row);
     }
-    Relation::from_rows(r.schema().clone(), rows)
+    Ok(Relation::from_rows(r.schema().clone(), rows))
 }
 
 #[cfg(test)]
@@ -207,6 +237,20 @@ mod tests {
         let arm = synthetic_armstrong(r.schema(), &max);
         assert_eq!(arm.len(), 4);
         assert!(is_armstrong_for(&arm, &mine_minimal_fds(&r)));
+    }
+
+    #[test]
+    fn governed_generation_stops_on_cancel() {
+        let r = datasets::employee();
+        let max = employee_max();
+        let token = depminer_govern::CancelToken::unlimited();
+        assert!(synthetic_armstrong_governed(r.schema(), &max, &token).is_ok());
+        assert!(real_world_armstrong_governed(&r, &max, &token)
+            .unwrap()
+            .is_ok());
+        token.cancel();
+        assert!(synthetic_armstrong_governed(r.schema(), &max, &token).is_err());
+        assert!(real_world_armstrong_governed(&r, &max, &token).is_err());
     }
 
     #[test]

@@ -163,6 +163,37 @@ impl MiningResult {
         }
         Ok(())
     }
+
+    /// Audits exactly the claims a *partial* result makes: every listed FD
+    /// must hold on `r` and have a minimal left-hand side.
+    ///
+    /// A budget-tripped [`crate::DepMiner::mine_governed`] run stops at
+    /// clean stage boundaries, so its FD list covers only rhs attributes
+    /// whose transversal search completed — those FDs are exact, but the
+    /// structural tables (`lhs`, `max_sets`) are intentionally truncated
+    /// and would fail the full [`MiningResult::audit`]. This validator
+    /// checks the subset the partial result vouches for and nothing more.
+    pub fn audit_claimed_fds(&self, r: &Relation) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("MiningResult", d));
+        if self.schema.arity() != r.arity() {
+            return err(format!(
+                "result arity {} vs relation arity {}",
+                self.schema.arity(),
+                r.arity()
+            ));
+        }
+        for fd in &self.fds {
+            validate_fd_holds(r, fd.lhs, fd.rhs)?;
+            for b in fd.lhs.iter() {
+                if validate_fd_holds(r, fd.lhs.without(b), fd.rhs).is_ok() {
+                    return err(format!(
+                        "claimed FD {fd} is not minimal: attribute {b} is redundant"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

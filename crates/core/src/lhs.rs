@@ -7,7 +7,8 @@
 
 use crate::maxset::MaxSets;
 use depminer_fdtheory::{normalize_fds, Fd};
-use depminer_hypergraph::Hypergraph;
+use depminer_govern::{BudgetExceeded, CancelToken, Resource, Stage};
+use depminer_hypergraph::{berge, dfs, levelwise, Hypergraph};
 use depminer_parallel::{par_map_indexed, Parallelism};
 use depminer_relation::AttrSet;
 
@@ -41,6 +42,20 @@ impl TransversalEngine {
             TransversalEngine::Dfs => h.min_transversals_dfs(),
         }
     }
+
+    fn run_governed(
+        &self,
+        h: &Hypergraph,
+        token: &CancelToken,
+    ) -> Result<Vec<AttrSet>, BudgetExceeded> {
+        match self {
+            TransversalEngine::Levelwise => {
+                levelwise::min_transversals_governed(h, Parallelism::Auto, token)
+            }
+            TransversalEngine::Berge => berge::min_transversals_governed(h, token),
+            TransversalEngine::Dfs => dfs::min_transversals_governed(h, token),
+        }
+    }
 }
 
 /// `LEFT_HAND_SIDE`: computes `lhs(dep(r), A)` for every attribute, with
@@ -65,6 +80,40 @@ pub fn left_hand_sides_with(
         let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
         engine.run(&h)
     })
+}
+
+/// [`left_hand_sides_with`] under a live [`CancelToken`], with
+/// *per-attribute* completion: `Some(family)` for every attribute whose
+/// transversal search finished, `None` for attributes cut off mid-walk
+/// (a truncated walk cannot certify minimality, so its partial list is
+/// discarded — see the governed engines in `depminer-hypergraph`).
+///
+/// Once the token trips, the remaining attributes' searches fail fast at
+/// their first checkpoint, so the fan-out drains promptly. Which
+/// attributes complete before a deadline can vary run to run at >1
+/// threads; completed families are always exact.
+pub fn left_hand_sides_governed(
+    ms: &MaxSets,
+    engine: TransversalEngine,
+    par: Parallelism,
+    token: &CancelToken,
+) -> (Vec<Option<Vec<AttrSet>>>, Option<BudgetExceeded>) {
+    let families: Vec<Option<Vec<AttrSet>>> = par_map_indexed(par, ms.arity, |a| {
+        let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
+        engine.run_governed(&h, token).ok()
+    });
+    let stopped = if families.iter().any(Option::is_none) {
+        // Every engine error originates from the token, so the trip reason
+        // is recorded there; synthesize one only as a defensive fallback.
+        Some(token.trip_reason().unwrap_or_else(|| BudgetExceeded {
+            resource: Resource::External,
+            stage: Some(Stage::Transversals),
+            detail: "transversal engine stopped without a recorded trip".into(),
+        }))
+    } else {
+        None
+    };
+    (families, stopped)
 }
 
 /// `FD_OUTPUT`: turns per-attribute lhs families into minimal non-trivial

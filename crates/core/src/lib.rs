@@ -39,22 +39,31 @@ pub mod maxset;
 pub mod stats;
 
 pub use agree::{
-    agree_sets, agree_sets_couples, agree_sets_couples_no_mc, agree_sets_couples_no_mc_with,
-    agree_sets_couples_with, agree_sets_ec, agree_sets_ec_with, agree_sets_naive, agree_sets_with,
-    AgreeSetStrategy, AgreeSets,
+    agree_sets, agree_sets_couples, agree_sets_couples_governed, agree_sets_couples_no_mc,
+    agree_sets_couples_no_mc_with, agree_sets_couples_with, agree_sets_ec, agree_sets_ec_governed,
+    agree_sets_ec_with, agree_sets_governed, agree_sets_naive, agree_sets_with, AgreeSetStrategy,
+    AgreeSets,
 };
-pub use armstrong::{real_world_armstrong, real_world_exists, synthetic_armstrong};
+pub use armstrong::{
+    real_world_armstrong, real_world_armstrong_governed, real_world_exists, synthetic_armstrong,
+    synthetic_armstrong_governed,
+};
 pub use audit::{audit_lhs, audit_lhs_for_attribute};
+pub use depminer_govern::{
+    Budget, BudgetExceeded, CancelToken, MiningOutcome, Resource, Stage, StageReport,
+};
 pub use depminer_parallel::Parallelism;
 pub use keys::candidate_keys_from_agree_sets;
-pub use lhs::{fd_output, left_hand_sides, left_hand_sides_with, TransversalEngine};
-pub use maxset::{cmax_sets, cmax_sets_with, MaxSets};
+pub use lhs::{
+    fd_output, left_hand_sides, left_hand_sides_governed, left_hand_sides_with, TransversalEngine,
+};
+pub use maxset::{cmax_sets, cmax_sets_governed, cmax_sets_with, MaxSets};
 pub use stats::PhaseTimings;
 
 use depminer_fdtheory::Fd;
 use depminer_relation::invariants::{audits_enabled, enforce};
 use depminer_relation::{AttrSet, Relation, RelationError, Schema, StrippedPartitionDb};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configurable Dep-Miner pipeline.
 ///
@@ -122,53 +131,187 @@ impl DepMiner {
     /// Runs the full pipeline on a relation (extracting the stripped
     /// partition database first).
     pub fn mine(&self, r: &Relation) -> MiningResult {
-        let t0 = Instant::now();
-        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
-        let preprocess = t0.elapsed();
-        if audits_enabled() {
-            enforce(db.validate_against(r));
-        }
-        let mut result = self.mine_db(&db);
-        result.timings.preprocess = preprocess;
-        result
+        self.mine_with_token(r, &CancelToken::unlimited()).result
     }
 
     /// Runs the pipeline on a pre-computed stripped partition database —
     /// the paper's actual input ("Dep-Miner takes in input a small
     /// representation of a relation").
     pub fn mine_db(&self, db: &StrippedPartitionDb) -> MiningResult {
+        self.mine_db_governed(db, &CancelToken::unlimited()).result
+    }
+
+    /// [`DepMiner::mine`] under a resource [`Budget`]: starts a fresh
+    /// [`CancelToken`] from the budget and runs the governed pipeline.
+    ///
+    /// When the budget trips, the run unwinds at the next checkpoint and
+    /// returns a partial [`MiningOutcome`]: the FD list covers only rhs
+    /// attributes whose transversal search completed (those FDs are exact
+    /// and pass [`MiningResult::audit_claimed_fds`]); the per-stage
+    /// [`StageReport`]s record where the run stopped and what was
+    /// processed.
+    pub fn mine_governed(&self, r: &Relation, budget: &Budget) -> MiningOutcome<MiningResult> {
+        self.mine_with_token(r, &budget.start())
+    }
+
+    /// [`DepMiner::mine_governed`] with a caller-supplied token — use this
+    /// to share one token (and its budget, or an external cancellation
+    /// source) across several runs.
+    pub fn mine_with_token(
+        &self,
+        r: &Relation,
+        token: &CancelToken,
+    ) -> MiningOutcome<MiningResult> {
+        let t0 = Instant::now();
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
+        let preprocess = t0.elapsed();
+        if audits_enabled() {
+            enforce(db.validate_against(r));
+        }
+        let mut outcome = self.mine_db_governed(&db, token);
+        outcome.result.timings.preprocess = preprocess;
+        outcome
+    }
+
+    /// [`DepMiner::mine_db`] under a live [`CancelToken`]. See
+    /// [`DepMiner::mine_governed`] for the partial-result contract.
+    pub fn mine_db_governed(
+        &self,
+        db: &StrippedPartitionDb,
+        token: &CancelToken,
+    ) -> MiningOutcome<MiningResult> {
+        let arity = db.arity();
+        let mut stages: Vec<StageReport> = Vec::new();
+
         let t1 = Instant::now();
-        let ag = agree_sets_with(db, self.strategy, self.parallelism);
+        let (ag, agree_err) = agree_sets_governed(db, self.strategy, self.parallelism, token);
         let t_agree = t1.elapsed();
+        stages.push(StageReport {
+            stage: Stage::AgreeSets,
+            completed: agree_err.is_none(),
+            processed: token.couples(),
+            planned: None,
+            note: format!("{} distinct non-empty agree sets", ag.sets.len()),
+        });
+        let timings = |t_cmax: Duration, t_lhs: Duration| PhaseTimings {
+            preprocess: Duration::ZERO,
+            agree_sets: t_agree,
+            cmax_sets: t_cmax,
+            left_hand_sides: t_lhs,
+        };
+        let skipped = |stage: Stage| StageReport {
+            stage,
+            completed: false,
+            processed: 0,
+            planned: Some(arity as u64),
+            note: "skipped: an earlier stage was cut off".into(),
+        };
+        if let Some(why) = agree_err {
+            // Incomplete agree sets poison everything downstream: no FD can
+            // be claimed, so the structural tables stay empty.
+            stages.push(skipped(Stage::MaxSets));
+            stages.push(skipped(Stage::Transversals));
+            let result = MiningResult {
+                schema: db.schema().clone(),
+                n_rows: db.n_rows(),
+                agree_sets: ag,
+                max_sets: MaxSets {
+                    max: vec![Vec::new(); arity],
+                    cmax: vec![Vec::new(); arity],
+                    arity,
+                },
+                lhs: vec![Vec::new(); arity],
+                fds: Vec::new(),
+                timings: timings(Duration::ZERO, Duration::ZERO),
+            };
+            return MiningOutcome::partial(result, why, stages);
+        }
 
         let t2 = Instant::now();
-        let max_sets = cmax_sets_with(&ag, self.parallelism);
+        let max_sets = match cmax_sets_governed(&ag, self.parallelism, token) {
+            Ok(ms) => ms,
+            Err(why) => {
+                stages.push(skipped(Stage::MaxSets));
+                stages.push(skipped(Stage::Transversals));
+                let result = MiningResult {
+                    schema: db.schema().clone(),
+                    n_rows: db.n_rows(),
+                    agree_sets: ag,
+                    max_sets: MaxSets {
+                        max: vec![Vec::new(); arity],
+                        cmax: vec![Vec::new(); arity],
+                        arity,
+                    },
+                    lhs: vec![Vec::new(); arity],
+                    fds: Vec::new(),
+                    timings: timings(t2.elapsed(), Duration::ZERO),
+                };
+                return MiningOutcome::partial(result, why, stages);
+            }
+        };
         let t_cmax = t2.elapsed();
         if audits_enabled() {
             enforce(max_sets.audit(&ag));
         }
+        stages.push(StageReport {
+            stage: Stage::MaxSets,
+            completed: true,
+            processed: arity as u64,
+            planned: Some(arity as u64),
+            note: "maximal sets and complements derived per attribute".into(),
+        });
 
         let t3 = Instant::now();
-        let lhs = left_hand_sides_with(&max_sets, self.engine, self.parallelism);
+        let (families, lhs_err) =
+            left_hand_sides_governed(&max_sets, self.engine, self.parallelism, token);
+        let done = families.iter().filter(|f| f.is_some()).count();
+        if audits_enabled() {
+            for (a, family) in families.iter().enumerate() {
+                if let Some(family) = family {
+                    enforce(audit::audit_lhs_for_attribute(
+                        arity,
+                        &max_sets.cmax[a],
+                        family,
+                    ));
+                }
+            }
+        }
+        // Unprocessed attributes keep an empty family: fd_output then emits
+        // no FD with that rhs, so the FD list covers exactly the completed
+        // attributes.
+        let lhs: Vec<Vec<AttrSet>> = families
+            .into_iter()
+            .map(Option::unwrap_or_default)
+            .collect();
         let fds = fd_output(&lhs);
         let t_lhs = t3.elapsed();
-        if audits_enabled() {
-            enforce(audit::audit_lhs(&max_sets, &lhs));
-        }
+        stages.push(StageReport {
+            stage: Stage::Transversals,
+            completed: lhs_err.is_none(),
+            processed: done as u64,
+            planned: Some(arity as u64),
+            note: if lhs_err.is_none() {
+                "lhs families derived for every attribute".into()
+            } else {
+                format!(
+                    "FDs guaranteed only for {done} completed rhs attributes; {} unverified",
+                    arity - done
+                )
+            },
+        });
 
-        MiningResult {
+        let result = MiningResult {
             schema: db.schema().clone(),
             n_rows: db.n_rows(),
             agree_sets: ag,
             max_sets,
             lhs,
             fds,
-            timings: PhaseTimings {
-                preprocess: std::time::Duration::ZERO,
-                agree_sets: t_agree,
-                cmax_sets: t_cmax,
-                left_hand_sides: t_lhs,
-            },
+            timings: timings(t_cmax, t_lhs),
+        };
+        match lhs_err {
+            Some(why) => MiningOutcome::partial(result, why, stages),
+            None => MiningOutcome::complete(result, stages),
         }
     }
 }
@@ -207,6 +350,25 @@ impl MiningResult {
     /// The classic integer-valued Armstrong relation (Example 12).
     pub fn synthetic_armstrong(&self) -> Relation {
         synthetic_armstrong(&self.schema, &self.max_union())
+    }
+
+    /// Budget-aware [`MiningResult::synthetic_armstrong`]; `Err` on a
+    /// budget trip (generation is all-or-nothing).
+    pub fn synthetic_armstrong_governed(
+        &self,
+        token: &CancelToken,
+    ) -> Result<Relation, BudgetExceeded> {
+        synthetic_armstrong_governed(&self.schema, &self.max_union(), token)
+    }
+
+    /// Budget-aware [`MiningResult::real_world_armstrong`]; the outer
+    /// `Err` is a budget trip, the inner one the Proposition 1 condition.
+    pub fn real_world_armstrong_governed(
+        &self,
+        r: &Relation,
+        token: &CancelToken,
+    ) -> Result<Result<Relation, RelationError>, BudgetExceeded> {
+        real_world_armstrong_governed(r, &self.max_union(), token)
     }
 
     /// The real-world Armstrong relation (Definition 1), with values drawn
@@ -297,6 +459,74 @@ mod tests {
         let b = DepMiner::new().mine_db(&db);
         assert_eq!(a.fds, b.fds);
         assert_eq!(a.max_sets, b.max_sets);
+    }
+
+    #[test]
+    fn governed_unlimited_budget_is_complete_and_identical() {
+        let r = datasets::employee();
+        let outcome = DepMiner::new().mine_governed(&r, &Budget::unlimited());
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.result.fds, DepMiner::new().mine(&r).fds);
+        assert_eq!(outcome.stages.len(), 3);
+        assert!(outcome.stages.iter().all(|s| s.completed));
+        outcome.result.audit(&r).unwrap();
+    }
+
+    #[test]
+    fn couple_budget_trips_to_valid_partial() {
+        // 200 rows with correlation 0.5 generate far more than 10 couples.
+        let r = depminer_relation::SyntheticConfig::new(6, 200, 0.5)
+            .generate()
+            .unwrap();
+        let budget = Budget::unlimited().with_max_couples(10);
+        let outcome = DepMiner::new().mine_governed(&r, &budget);
+        assert!(!outcome.is_complete());
+        let why = outcome.interrupted.as_ref().unwrap();
+        assert_eq!(why.resource, Resource::Couples);
+        // Agree sets were cut off, so no FD may be claimed…
+        assert!(outcome.result.fds.is_empty());
+        // …and the claimed (empty) subset trivially audits clean.
+        outcome.result.audit_claimed_fds(&r).unwrap();
+        assert!(outcome.diagnostics().contains("agree-sets"));
+    }
+
+    #[test]
+    fn cancelled_token_yields_partial_for_all_strategies() {
+        let r = datasets::enrollment();
+        for miner in [
+            DepMiner::new(),
+            DepMiner::algorithm_2(Some(3)),
+            DepMiner::algorithm_3(),
+            DepMiner {
+                strategy: AgreeSetStrategy::Naive,
+                ..DepMiner::new()
+            },
+        ] {
+            let token = CancelToken::unlimited();
+            token.cancel();
+            let outcome = miner.mine_with_token(&r, &token);
+            assert!(!outcome.is_complete(), "{miner:?}");
+            assert!(outcome.result.fds.is_empty(), "{miner:?}");
+            outcome.result.audit_claimed_fds(&r).unwrap();
+        }
+    }
+
+    #[test]
+    fn partial_fds_are_exact_for_completed_attributes() {
+        // A lattice-level budget of 1 lets every transversal search do only
+        // level 1 of the levelwise walk: single-attribute lhs families may
+        // complete (tiny searches finish within the level budget… they
+        // don't — every non-empty hypergraph needs at least one full level,
+        // so expect constant attrs' empty hypergraphs to complete).
+        let r = datasets::constant_columns();
+        let budget = Budget::unlimited().with_max_level(1);
+        let outcome = DepMiner::new().mine_governed(&r, &budget);
+        // Whatever completed must be exact and minimal.
+        outcome.result.audit_claimed_fds(&r).unwrap();
+        let oracle = depminer_fdtheory::mine_minimal_fds(&r);
+        for fd in &outcome.result.fds {
+            assert!(oracle.contains(fd), "claimed FD {fd} not in minimal cover");
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! explicitly so Dep-Miner is exact on *every* input.
 
 use crate::agree::AgreeSets;
-use depminer_parallel::{par_map_indexed, Parallelism};
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
+use depminer_parallel::{par_map_indexed_governed, Parallelism};
 use depminer_relation::{retain_maximal, AttrSet};
 
 /// Per-attribute maximal sets and complements.
@@ -61,9 +62,21 @@ pub fn cmax_sets(ag: &AgreeSets) -> MaxSets {
 /// computations are independent, so they fan out across attributes; the
 /// result is identical at every thread count.
 pub fn cmax_sets_with(ag: &AgreeSets, par: Parallelism) -> MaxSets {
+    cmax_sets_governed(ag, par, &CancelToken::unlimited()).expect("an unlimited token never trips")
+}
+
+/// [`cmax_sets_with`] under a live [`CancelToken`]: one checkpoint per
+/// attribute (each attribute's maximality filter is the unit of work).
+/// This stage is all-or-nothing — a partial per-attribute table would be
+/// useless downstream, so a trip discards it entirely.
+pub fn cmax_sets_governed(
+    ag: &AgreeSets,
+    par: Parallelism,
+    token: &CancelToken,
+) -> Result<MaxSets, BudgetExceeded> {
     let n = ag.arity;
     let full = AttrSet::full(n);
-    let max: Vec<Vec<AttrSet>> = par_map_indexed(par, n, |a| {
+    let max: Vec<Vec<AttrSet>> = par_map_indexed_governed(par, token, Stage::MaxSets, n, |a| {
         // Lemma 3: maximal non-empty agree sets avoiding A.
         let mut cands: Vec<AttrSet> = ag.sets.iter().copied().filter(|x| !x.contains(a)).collect();
         retain_maximal(&mut cands);
@@ -73,8 +86,8 @@ pub fn cmax_sets_with(ag: &AgreeSets, par: Parallelism) -> MaxSets {
             // set (A is not constant, yet no non-empty agree set avoids it).
             cands.push(AttrSet::empty());
         }
-        cands
-    });
+        Ok(cands)
+    })?;
     let cmax = max
         .iter()
         .map(|sets| {
@@ -83,11 +96,11 @@ pub fn cmax_sets_with(ag: &AgreeSets, par: Parallelism) -> MaxSets {
             c
         })
         .collect();
-    MaxSets {
+    Ok(MaxSets {
         max,
         cmax,
         arity: n,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -26,6 +26,8 @@ pub mod fdtree;
 
 pub use fdtree::LhsTrie;
 
+pub use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
+
 use depminer_fdtheory::{normalize_fds, Fd};
 use depminer_relation::{AttrSet, FxHashSet, Relation, StrippedPartitionDb};
 
@@ -55,6 +57,23 @@ impl Fdep {
     /// handled via a single flag), keeping the scan sub-quadratic on data
     /// with many distinct values.
     pub fn run(&self, r: &Relation) -> FdepResult {
+        self.run_with_token(r, &CancelToken::unlimited()).result
+    }
+
+    /// Mines under a resource [`Budget`]; see [`Fdep::run_with_token`].
+    pub fn run_governed(&self, r: &Relation, budget: &Budget) -> MiningOutcome<FdepResult> {
+        self.run_with_token(r, &budget.start())
+    }
+
+    /// Mines with cooperative budget checkpoints on a caller-held token.
+    ///
+    /// Partial-result contract: a trip during the **negative cover** scan
+    /// leaves the cover unusable (a missing violation would make the
+    /// positive cover claim FDs that do not hold), so the partial result
+    /// carries an empty FD list. A trip during **inversion** keeps the FDs
+    /// of fully inverted rhs attributes — each rhs is independent — and
+    /// drops the attribute being inverted when the budget ran out.
+    pub fn run_with_token(&self, r: &Relation, token: &CancelToken) -> MiningOutcome<FdepResult> {
         let n = r.arity();
         let db = StrippedPartitionDb::from_relation(r);
 
@@ -66,7 +85,13 @@ impl Fdep {
         let mc = db.maximal_classes();
         let mut agree: FxHashSet<AttrSet> = FxHashSet::default();
         let mut done: FxHashSet<(u32, u32)> = FxHashSet::default();
-        for class in &mc {
+        let mut stopped: Option<BudgetExceeded> = None;
+        'classes: for class in &mc {
+            let pairs = (class.len() * class.len().saturating_sub(1) / 2) as u64;
+            if let Err(why) = token.add_couples(pairs, Stage::NegativeCover) {
+                stopped = Some(why);
+                break 'classes;
+            }
             for (k, &t) in class.iter().enumerate() {
                 for &u in &class[k + 1..] {
                     let key = if t < u { (t, u) } else { (u, t) };
@@ -75,6 +100,34 @@ impl Fdep {
                     }
                 }
             }
+        }
+        if let Some(why) = stopped {
+            // An incomplete negative cover poisons everything downstream:
+            // claiming an FD whose violation was never scanned would be
+            // silently wrong, so the partial result carries no FDs at all.
+            return MiningOutcome::partial(
+                FdepResult {
+                    fds: Vec::new(),
+                    negative_cover_size: 0,
+                },
+                why,
+                vec![
+                    StageReport {
+                        stage: Stage::NegativeCover,
+                        completed: false,
+                        processed: done.len() as u64,
+                        planned: None,
+                        note: "negative cover incomplete; no FDs can be claimed".into(),
+                    },
+                    StageReport {
+                        stage: Stage::FdepInversion,
+                        completed: false,
+                        processed: 0,
+                        planned: Some(n as u64),
+                        note: "skipped: an earlier stage was cut off".into(),
+                    },
+                ],
+            );
         }
         // Does any pair agree on nothing? Equivalent to: the couples above
         // do not cover all pairs. Cheap exact test: total pair count vs
@@ -109,13 +162,34 @@ impl Fdep {
             }
         }
         let negative_cover_size = negative.iter().map(Vec::len).sum();
+        let cover_report = StageReport {
+            stage: Stage::NegativeCover,
+            completed: true,
+            processed: done.len() as u64,
+            planned: Some(total_pairs as u64),
+            note: format!("{negative_cover_size} maximal violated lhs across all rhs"),
+        };
 
         // ---- Phase 2: invert into the positive cover ------------------
         let mut fds: Vec<Fd> = Vec::new();
-        for (a, neg) in negative.iter().enumerate() {
+        let mut completed_attrs = n;
+        'invert: for (a, neg) in negative.iter().enumerate() {
+            if let Err(why) = token.check(Stage::FdepInversion) {
+                stopped = Some(why);
+                completed_attrs = a;
+                break 'invert;
+            }
             let mut pos = LhsTrie::new();
             pos.insert(AttrSet::empty()); // most general hypothesis: ∅ → A
             for &violated in neg {
+                // A half-inverted hypothesis space claims FDs the remaining
+                // violations would refute, so a mid-attribute trip drops
+                // this rhs entirely and keeps only fully inverted ones.
+                if let Err(why) = token.check(Stage::FdepInversion) {
+                    stopped = Some(why);
+                    completed_attrs = a;
+                    break 'invert;
+                }
                 for x in pos.remove_subsets_of(violated) {
                     // Specialize x minimally so it is no longer ⊆ violated.
                     for b in 0..n {
@@ -138,16 +212,35 @@ impl Fdep {
         // from a different branch); a final antichain pass per rhs fixes
         // this deterministically.
         let mut minimal: Vec<Fd> = Vec::new();
-        for a in 0..n {
+        for a in 0..completed_attrs {
             let mut sides: Vec<AttrSet> =
                 fds.iter().filter(|f| f.rhs == a).map(|f| f.lhs).collect();
             depminer_relation::retain_minimal(&mut sides);
             minimal.extend(sides.into_iter().map(|x| Fd::new(x, a)));
         }
         normalize_fds(&mut minimal);
-        FdepResult {
+        let result = FdepResult {
             fds: minimal,
             negative_cover_size,
+        };
+        let invert_report = StageReport {
+            stage: Stage::FdepInversion,
+            completed: stopped.is_none(),
+            processed: completed_attrs as u64,
+            planned: Some(n as u64),
+            note: if stopped.is_none() {
+                format!("all {n} rhs attributes inverted")
+            } else {
+                format!(
+                    "FDs guaranteed only for {completed_attrs} fully inverted rhs attributes; \
+                     {} unverified",
+                    n - completed_attrs
+                )
+            },
+        };
+        match stopped {
+            Some(why) => MiningOutcome::partial(result, why, vec![cover_report, invert_report]),
+            None => MiningOutcome::complete(result, vec![cover_report, invert_report]),
         }
     }
 }
@@ -227,6 +320,45 @@ mod tests {
             .unwrap();
             assert_eq!(Fdep::new().run(&r).fds, mine_minimal_fds(&r));
         }
+    }
+
+    #[test]
+    fn governed_unlimited_budget_is_complete_and_identical() {
+        let r = datasets::employee();
+        let plain = Fdep::new().run(&r);
+        let outcome = Fdep::new().run_governed(&r, &Budget::unlimited());
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.result.fds, plain.fds);
+        assert_eq!(
+            outcome.result.negative_cover_size,
+            plain.negative_cover_size
+        );
+        assert_eq!(outcome.stages.len(), 2);
+        assert!(outcome.stages.iter().all(|s| s.completed));
+    }
+
+    #[test]
+    fn couple_budget_trips_to_empty_partial() {
+        let r = datasets::employee();
+        let budget = Budget::unlimited().with_max_couples(1);
+        let outcome = Fdep::new().run_governed(&r, &budget);
+        assert!(!outcome.is_complete());
+        let why = outcome.interrupted.as_ref().unwrap();
+        assert_eq!(why.resource, depminer_govern::Resource::Couples);
+        assert_eq!(why.stage, Some(Stage::NegativeCover));
+        // An incomplete negative cover can claim nothing.
+        assert!(outcome.result.fds.is_empty());
+        assert!(outcome.diagnostics().contains("negative-cover"));
+    }
+
+    #[test]
+    fn cancelled_token_yields_valid_partial() {
+        let r = datasets::employee();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let outcome = Fdep::new().run_with_token(&r, &token);
+        assert!(!outcome.is_complete());
+        assert!(outcome.result.fds.is_empty());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Deterministic fault injection (`faults` feature).
+//!
+//! A [`FaultPlan`] armed on a [`CancelToken`](crate::CancelToken) fires
+//! exactly once, at the n-th checkpoint the token sees across all
+//! threads. The chaos tests seed `n` from the in-tree SplitMix64 `Prng`
+//! and sweep it across a run's checkpoint range, so every cooperative
+//! checkpoint becomes an injection point. Under a single-threaded run
+//! the firing checkpoint is fully deterministic per seed; under a
+//! parallel run the global count is deterministic but which worker
+//! observes it depends on scheduling — the properties asserted
+//! (complete result or well-formed partial, never a hang or a poisoned
+//! pool) hold either way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the plan injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Trip the token as if a budget ran out (randomized cancellation).
+    Cancel,
+    /// Panic at the checkpoint, simulating a worker crash mid-stage.
+    Panic,
+    /// Trip the memory budget, simulating allocation exhaustion.
+    MemoryExhaust,
+}
+
+/// A one-shot fault armed at a specific checkpoint ordinal.
+#[derive(Debug)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    /// Zero-based ordinal of the checkpoint that fires the fault.
+    at: u64,
+    hits: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Arms `kind` to fire at the `at`-th checkpoint (zero-based).
+    pub fn new(kind: FaultKind, at: u64) -> Self {
+        FaultPlan {
+            kind,
+            at,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The checkpoint ordinal this plan fires at.
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// Checkpoints observed so far (diagnostics; lets a sweep size its
+    /// ordinal range from a dry run).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Counts one checkpoint; returns the fault exactly when this is the
+    /// armed ordinal.
+    pub(crate) fn fire(&self) -> Option<FaultKind> {
+        let n = self.hits.fetch_add(1, Ordering::Relaxed);
+        (n == self.at).then_some(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_exactly_once_at_the_armed_ordinal() {
+        let plan = FaultPlan::new(FaultKind::Cancel, 2);
+        assert_eq!(plan.fire(), None);
+        assert_eq!(plan.fire(), None);
+        assert_eq!(plan.fire(), Some(FaultKind::Cancel));
+        assert_eq!(plan.fire(), None);
+        assert_eq!(plan.hits(), 4);
+        assert_eq!(plan.at(), 2);
+    }
+}

@@ -1,0 +1,776 @@
+//! # depminer-govern
+//!
+//! Resource governance for the mining pipelines: budgets, cooperative
+//! cancellation, and the partial-result contract.
+//!
+//! Every worst-case-exponential stage (agree sets, minimal transversals,
+//! TANE's lattice walk, fdep's negative cover, Armstrong generation)
+//! polls a shared [`CancelToken`] at coarse checkpoints — once per level,
+//! per equivalence class, per chunk — so a pathological relation can be
+//! stopped at a [`Budget`] instead of hanging a worker or exhausting
+//! memory. A tripped budget makes every stage unwind *without panicking*
+//! and return whatever it finished at a clean boundary; callers receive a
+//! [`MiningOutcome`] wrapping the partial result with an honest account
+//! of where mining stopped and which claims are still guaranteed.
+//!
+//! The token is cheap by design: the hot check is one relaxed atomic
+//! load, so the governed code path costs the ungoverned one well under
+//! the 2% overhead target (see `BENCH_govern.json`).
+//!
+//! With the `faults` feature, tokens can carry a deterministic
+//! [`faults::FaultPlan`] that injects a cancellation, a worker panic, or
+//! an allocation-budget exhaustion at the n-th checkpoint — the chaos
+//! tests drive every injection point and assert the pipeline always
+//! yields a complete result or a well-formed partial one.
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "faults")]
+pub mod faults;
+
+/// The pipeline stages that poll a [`CancelToken`]. Diagnostics name the
+/// stage a budget tripped in, so partial results can say exactly where
+/// mining stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Agree-set computation (naive pairs, couples, or equivalence classes).
+    AgreeSets,
+    /// Maximal/complement-maximal set derivation per attribute.
+    MaxSets,
+    /// Minimal-transversal search (levelwise, Berge, or DFS).
+    Transversals,
+    /// TANE's exact lattice level loop.
+    TaneLevels,
+    /// The approximate-FD (g₃) lattice level loop.
+    ApproxLevels,
+    /// fdep's negative-cover pair scan.
+    NegativeCover,
+    /// fdep's negative-cover inversion into positive FDs.
+    FdepInversion,
+    /// Armstrong relation row construction.
+    Armstrong,
+}
+
+impl Stage {
+    /// Stable human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::AgreeSets => "agree-sets",
+            Stage::MaxSets => "max-sets",
+            Stage::Transversals => "transversals",
+            Stage::TaneLevels => "tane-levels",
+            Stage::ApproxLevels => "approx-levels",
+            Stage::NegativeCover => "negative-cover",
+            Stage::FdepInversion => "fdep-inversion",
+            Stage::Armstrong => "armstrong",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which governed resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// [`CancelToken::cancel`] was called from outside.
+    External,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// More agree-set couples than [`Budget::max_couples`] were generated.
+    Couples,
+    /// The lattice walk reached [`Budget::max_level`].
+    LatticeLevel,
+    /// More lattice candidates than [`Budget::max_candidates`] were generated.
+    Candidates,
+    /// Tracked allocations exceeded [`Budget::max_memory_bytes`].
+    Memory,
+    /// A deterministic fault-injection plan fired (`faults` feature).
+    InjectedFault,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::External => "external cancellation",
+            Resource::Deadline => "wall-clock deadline",
+            Resource::Couples => "agree-set couple budget",
+            Resource::LatticeLevel => "lattice level budget",
+            Resource::Candidates => "lattice candidate budget",
+            Resource::Memory => "memory budget",
+            Resource::InjectedFault => "injected fault",
+        })
+    }
+}
+
+/// Why and where a governed run stopped early. The first trip wins: once
+/// a token is cancelled, every later checkpoint reports the same reason,
+/// so diagnostics are consistent across racing workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The exhausted resource.
+    pub resource: Resource,
+    /// The stage whose checkpoint observed the trip first, when known.
+    pub stage: Option<Stage>,
+    /// Human-readable context (counts, limits).
+    pub detail: String,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stage {
+            Some(stage) => write!(
+                f,
+                "{} exceeded in {}: {}",
+                self.resource, stage, self.detail
+            ),
+            None => write!(f, "{} exceeded: {}", self.resource, self.detail),
+        }
+    }
+}
+
+impl Error for BudgetExceeded {}
+
+/// Resource limits for one mining run. All limits are optional; the
+/// default is unlimited. A budget is inert until [`Budget::start`] turns
+/// it into a live [`CancelToken`] (that is when the deadline clock
+/// starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit for the whole run.
+    pub timeout: Option<Duration>,
+    /// Cap on agree-set couples generated (Dep-Miner algorithm 2/3).
+    pub max_couples: Option<u64>,
+    /// Deepest lattice level the levelwise walks may enter (TANE,
+    /// transversal search). Level 1 is the singletons.
+    pub max_level: Option<usize>,
+    /// Cap on lattice candidates generated across all levels.
+    pub max_candidates: Option<u64>,
+    /// Approximate cap on bytes of tracked working memory (couple
+    /// buffers, level vectors, partition products).
+    pub max_memory_bytes: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits: the resulting token never trips on its
+    /// own (it can still be cancelled externally).
+    pub const fn unlimited() -> Self {
+        Budget {
+            timeout: None,
+            max_couples: None,
+            max_level: None,
+            max_candidates: None,
+            max_memory_bytes: None,
+        }
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the agree-set couple cap.
+    pub fn with_max_couples(mut self, n: u64) -> Self {
+        self.max_couples = Some(n);
+        self
+    }
+
+    /// Sets the deepest permitted lattice level.
+    pub fn with_max_level(mut self, level: usize) -> Self {
+        self.max_level = Some(level);
+        self
+    }
+
+    /// Sets the lattice candidate cap.
+    pub fn with_max_candidates(mut self, n: u64) -> Self {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Sets the approximate tracked-memory cap in bytes.
+    pub fn with_max_memory_bytes(mut self, bytes: u64) -> Self {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// `true` when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::unlimited()
+    }
+
+    /// Starts the budget: converts the timeout into an absolute deadline
+    /// and returns the live token stages will poll.
+    pub fn start(&self) -> CancelToken {
+        CancelToken {
+            state: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                trip: Mutex::new(None),
+                deadline: self.timeout.map(|t| Instant::now() + t),
+                checks: AtomicU64::new(0),
+                max_couples: self.max_couples.unwrap_or(u64::MAX),
+                couples: AtomicU64::new(0),
+                max_candidates: self.max_candidates.unwrap_or(u64::MAX),
+                candidates: AtomicU64::new(0),
+                max_level: self.max_level.unwrap_or(usize::MAX),
+                max_memory: self.max_memory_bytes.unwrap_or(u64::MAX),
+                memory: AtomicU64::new(0),
+                #[cfg(feature = "faults")]
+                fault: None,
+            }),
+        }
+    }
+
+    /// Starts the budget with a deterministic fault-injection plan armed
+    /// on the token (`faults` feature; chaos tests only).
+    #[cfg(feature = "faults")]
+    pub fn start_with_fault(&self, plan: faults::FaultPlan) -> CancelToken {
+        let mut token = self.start();
+        let state =
+            Arc::get_mut(&mut token.state).expect("freshly started token has no other handles");
+        state.fault = Some(plan);
+        token
+    }
+}
+
+/// How many checkpoints share one monotonic-clock read when a deadline
+/// is armed. Checkpoints sit at coarse loop boundaries, so a deadline
+/// trip lands at most a stride of cheap iterations late — while the
+/// governed hot path stays within the <2% overhead target.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// Shared token state; one per governed run, shared by every worker.
+struct TokenState {
+    /// The hot flag: set exactly when some limit tripped (or `cancel`
+    /// was called). Checkpoints read it with a relaxed load.
+    cancelled: AtomicBool,
+    /// First trip reason; later trips keep the original.
+    trip: Mutex<Option<BudgetExceeded>>,
+    deadline: Option<Instant>,
+    /// Checkpoint counter driving the strided deadline read: reading the
+    /// monotonic clock dominates checkpoint cost, so only every
+    /// [`DEADLINE_STRIDE`]-th checkpoint consults it. The very first
+    /// checkpoint (count 0) always reads the clock, so an
+    /// already-expired deadline trips immediately.
+    checks: AtomicU64,
+    max_couples: u64,
+    couples: AtomicU64,
+    max_candidates: u64,
+    candidates: AtomicU64,
+    max_level: usize,
+    max_memory: u64,
+    memory: AtomicU64,
+    #[cfg(feature = "faults")]
+    fault: Option<faults::FaultPlan>,
+}
+
+/// Cooperative cancellation handle shared across a governed run. Cloning
+/// is cheap (an `Arc`); all clones observe the same state.
+///
+/// The contract for governed stages: poll [`CancelToken::check`] at every
+/// loop that can run long (per level, per class, per chunk); on `Err`,
+/// stop at the nearest clean boundary and return what is finished. The
+/// error carries the reason; stages never panic on a budget trip.
+#[derive(Clone)]
+pub struct CancelToken {
+    state: Arc<TokenState>,
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::unlimited()
+    }
+}
+
+impl CancelToken {
+    /// A token with no limits. The ungoverned entry points run on one of
+    /// these: every checkpoint is a single relaxed load that never trips.
+    pub fn unlimited() -> Self {
+        Budget::unlimited().start()
+    }
+
+    /// `true` once any limit tripped or [`CancelToken::cancel`] ran.
+    /// This is the cheap form for code that only needs a yes/no (the
+    /// pool's job wrapper); stages should prefer [`CancelToken::check`].
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Cancels the run from outside (e.g. a request handler timing out a
+    /// worker). Idempotent; an earlier budget trip keeps its reason.
+    pub fn cancel(&self) {
+        self.trip(
+            Resource::External,
+            None,
+            "cancelled by the caller".to_string(),
+        );
+    }
+
+    /// The cooperative checkpoint. Returns `Err` once the run is over
+    /// budget; `stage` labels the checkpoint for diagnostics. Cost on
+    /// the happy path: one relaxed load, plus — when a deadline is armed
+    /// — a clock read every [`DEADLINE_STRIDE`]-th call (the first call
+    /// always reads it). Call it at coarse boundaries (per level, per
+    /// class, per chunk), not per row.
+    pub fn check(&self, stage: Stage) -> Result<(), BudgetExceeded> {
+        #[cfg(feature = "faults")]
+        self.fault_hook(stage)?;
+        if self.state.cancelled.load(Ordering::Relaxed) {
+            return Err(self.current_reason(stage));
+        }
+        if let Some(deadline) = self.state.deadline {
+            let n = self.state.checks.fetch_add(1, Ordering::Relaxed);
+            if n % DEADLINE_STRIDE == 0 && Instant::now() >= deadline {
+                return Err(self.trip(
+                    Resource::Deadline,
+                    Some(stage),
+                    "wall-clock deadline passed".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `n` freshly generated agree-set couples; trips when the
+    /// running total passes the budget.
+    pub fn add_couples(&self, n: u64, stage: Stage) -> Result<(), BudgetExceeded> {
+        let total = self.state.couples.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.state.max_couples {
+            return Err(self.trip(
+                Resource::Couples,
+                Some(stage),
+                format!(
+                    "{total} couples generated, limit {}",
+                    self.state.max_couples
+                ),
+            ));
+        }
+        self.check(stage)
+    }
+
+    /// Records `n` freshly generated lattice candidates; trips past the
+    /// candidate budget.
+    pub fn add_candidates(&self, n: u64, stage: Stage) -> Result<(), BudgetExceeded> {
+        let total = self.state.candidates.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.state.max_candidates {
+            return Err(self.trip(
+                Resource::Candidates,
+                Some(stage),
+                format!(
+                    "{total} candidates generated, limit {}",
+                    self.state.max_candidates
+                ),
+            ));
+        }
+        self.check(stage)
+    }
+
+    /// Checkpoint at the entry of lattice level `level` (1-based); trips
+    /// when the level exceeds the budget's depth limit.
+    pub fn enter_level(&self, level: usize, stage: Stage) -> Result<(), BudgetExceeded> {
+        if level > self.state.max_level {
+            return Err(self.trip(
+                Resource::LatticeLevel,
+                Some(stage),
+                format!("level {level} past limit {}", self.state.max_level),
+            ));
+        }
+        self.check(stage)
+    }
+
+    /// Tracks an allocation of approximately `bytes`; trips past the
+    /// memory budget. Pair with [`CancelToken::release_memory`] when the
+    /// allocation is dropped or flushed.
+    pub fn reserve_memory(&self, bytes: u64, stage: Stage) -> Result<(), BudgetExceeded> {
+        let total = self.state.memory.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if total > self.state.max_memory {
+            return Err(self.trip(
+                Resource::Memory,
+                Some(stage),
+                format!("~{total} tracked bytes, limit {}", self.state.max_memory),
+            ));
+        }
+        self.check(stage)
+    }
+
+    /// Returns `bytes` of tracked memory to the budget.
+    pub fn release_memory(&self, bytes: u64) {
+        // Saturating: a release racing a reserve can transiently see less
+        // than was added; clamping at zero keeps the account sane.
+        let mut cur = self.state.memory.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.state.memory.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Couples recorded so far (diagnostics).
+    pub fn couples(&self) -> u64 {
+        self.state.couples.load(Ordering::Relaxed)
+    }
+
+    /// Lattice candidates recorded so far (diagnostics).
+    pub fn candidates(&self) -> u64 {
+        self.state.candidates.load(Ordering::Relaxed)
+    }
+
+    /// Tracked memory in bytes right now (diagnostics).
+    pub fn memory_bytes(&self) -> u64 {
+        self.state.memory.load(Ordering::Relaxed)
+    }
+
+    /// The first trip reason, if the run is over budget.
+    pub fn trip_reason(&self) -> Option<BudgetExceeded> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        self.lock_trip().clone()
+    }
+
+    fn lock_trip(&self) -> std::sync::MutexGuard<'_, Option<BudgetExceeded>> {
+        self.state
+            .trip
+            .lock()
+            .expect("trip mutex poisoned (no code unwinds while holding it)")
+    }
+
+    /// Records a trip; the first reason wins and is returned either way.
+    fn trip(&self, resource: Resource, stage: Option<Stage>, detail: String) -> BudgetExceeded {
+        let mut guard = self.lock_trip();
+        let reason = guard.get_or_insert(BudgetExceeded {
+            resource,
+            stage,
+            detail,
+        });
+        let reason = reason.clone();
+        drop(guard);
+        self.state.cancelled.store(true, Ordering::Relaxed);
+        reason
+    }
+
+    /// The stored trip reason, or a synthetic one when `cancelled` was
+    /// observed before the reason was published (benign race).
+    fn current_reason(&self, stage: Stage) -> BudgetExceeded {
+        self.lock_trip().clone().unwrap_or(BudgetExceeded {
+            resource: Resource::External,
+            stage: Some(stage),
+            detail: "run cancelled".to_string(),
+        })
+    }
+
+    #[cfg(feature = "faults")]
+    fn fault_hook(&self, stage: Stage) -> Result<(), BudgetExceeded> {
+        let Some(plan) = &self.state.fault else {
+            return Ok(());
+        };
+        match plan.fire() {
+            Some(faults::FaultKind::Cancel) => Err(self.trip(
+                Resource::InjectedFault,
+                Some(stage),
+                format!("injected cancellation at checkpoint {}", plan.at()),
+            )),
+            Some(faults::FaultKind::Panic) => {
+                // Deliberate: the chaos tests assert the pool and the
+                // pipelines survive a worker panicking mid-checkpoint.
+                // lint: allow(no-panic)
+                panic!(
+                    "injected fault: worker panic at checkpoint {} (stage {stage})",
+                    plan.at()
+                );
+            }
+            Some(faults::FaultKind::MemoryExhaust) => Err(self.trip(
+                Resource::Memory,
+                Some(stage),
+                format!("injected allocation exhaustion at checkpoint {}", plan.at()),
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A stage's account of how far it got, attached to a [`MiningOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Which stage this reports on.
+    pub stage: Stage,
+    /// `true` when the stage ran to completion; its claims are final.
+    pub completed: bool,
+    /// Units of work finished (couples, attributes, levels — the note
+    /// says which).
+    pub processed: u64,
+    /// Total units planned, when known up front.
+    pub planned: Option<u64>,
+    /// Free-form context: the unit of `processed`, what is guaranteed,
+    /// what is unverified.
+    pub note: String,
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.completed {
+            "complete"
+        } else {
+            "partial"
+        };
+        write!(f, "{}: {status}, {} processed", self.stage, self.processed)?;
+        if let Some(planned) = self.planned {
+            write!(f, " of {planned}")?;
+        }
+        if !self.note.is_empty() {
+            write!(f, " ({})", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+/// A governed run's result: the (possibly partial) payload plus an
+/// honest account of completeness.
+///
+/// The partial-result contract: when `interrupted` is `Some`, the
+/// payload contains only work finished at clean boundaries — completed
+/// levels, completed attributes, completed classes — and the stage
+/// reports say exactly where mining stopped. Claims the payload makes
+/// (e.g. "these FDs hold") remain true; claims it cannot make (e.g.
+/// "this FD list is exhaustive/minimal") are withdrawn and flagged in
+/// the reports.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome<T> {
+    /// The payload: complete when `interrupted` is `None`, otherwise the
+    /// well-formed partial result.
+    pub result: T,
+    /// Why the run stopped early, or `None` for a complete run.
+    pub interrupted: Option<BudgetExceeded>,
+    /// Per-stage progress accounts, in pipeline order.
+    pub stages: Vec<StageReport>,
+}
+
+impl<T> MiningOutcome<T> {
+    /// Wraps a run that finished every stage.
+    pub fn complete(result: T, stages: Vec<StageReport>) -> Self {
+        MiningOutcome {
+            result,
+            interrupted: None,
+            stages,
+        }
+    }
+
+    /// Wraps a run a budget stopped early.
+    pub fn partial(result: T, why: BudgetExceeded, stages: Vec<StageReport>) -> Self {
+        MiningOutcome {
+            result,
+            interrupted: Some(why),
+            stages,
+        }
+    }
+
+    /// `true` when every stage ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.interrupted.is_none()
+    }
+
+    /// Maps the payload, keeping the completeness account.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> MiningOutcome<U> {
+        MiningOutcome {
+            result: f(self.result),
+            interrupted: self.interrupted,
+            stages: self.stages,
+        }
+    }
+
+    /// Multi-line human-readable diagnostics (the CLI prints this on a
+    /// budget-exhausted run).
+    pub fn diagnostics(&self) -> String {
+        let mut out = String::new();
+        match &self.interrupted {
+            None => out.push_str("run complete\n"),
+            Some(why) => {
+                out.push_str(&format!("run interrupted: {why}\n"));
+            }
+        }
+        for report in &self.stages {
+            out.push_str(&format!("  {report}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_token_never_trips() {
+        let token = CancelToken::unlimited();
+        assert!(!token.is_cancelled());
+        for _ in 0..1000 {
+            token.check(Stage::AgreeSets).unwrap();
+        }
+        token.add_couples(1 << 40, Stage::AgreeSets).unwrap();
+        token.add_candidates(1 << 40, Stage::TaneLevels).unwrap();
+        token
+            .enter_level(usize::MAX - 1, Stage::TaneLevels)
+            .unwrap();
+        token.reserve_memory(1 << 50, Stage::AgreeSets).unwrap();
+        assert!(token.trip_reason().is_none());
+    }
+
+    #[test]
+    fn external_cancel_trips_every_clone() {
+        let token = CancelToken::unlimited();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+        let err = clone.check(Stage::Transversals).unwrap_err();
+        assert_eq!(err.resource, Resource::External);
+    }
+
+    #[test]
+    fn deadline_trips_and_first_reason_wins() {
+        let token = Budget::unlimited()
+            .with_timeout(Duration::from_millis(0))
+            .start();
+        let err = token.check(Stage::TaneLevels).unwrap_err();
+        assert_eq!(err.resource, Resource::Deadline);
+        assert_eq!(err.stage, Some(Stage::TaneLevels));
+        // A later external cancel does not overwrite the reason.
+        token.cancel();
+        let again = token.check(Stage::AgreeSets).unwrap_err();
+        assert_eq!(again.resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn couple_budget_trips_at_the_limit() {
+        let token = Budget::unlimited().with_max_couples(100).start();
+        assert!(token.add_couples(60, Stage::AgreeSets).is_ok());
+        assert!(token.add_couples(40, Stage::AgreeSets).is_ok());
+        let err = token.add_couples(1, Stage::AgreeSets).unwrap_err();
+        assert_eq!(err.resource, Resource::Couples);
+        assert_eq!(token.couples(), 101);
+    }
+
+    #[test]
+    fn level_and_candidate_budgets_trip() {
+        let token = Budget::unlimited()
+            .with_max_level(3)
+            .with_max_candidates(10)
+            .start();
+        assert!(token.enter_level(3, Stage::TaneLevels).is_ok());
+        let err = token.enter_level(4, Stage::TaneLevels).unwrap_err();
+        assert_eq!(err.resource, Resource::LatticeLevel);
+        // The token is now cancelled: a later candidate trip reports the
+        // first reason, so diagnostics stay consistent.
+        let err = token.add_candidates(11, Stage::TaneLevels).unwrap_err();
+        assert_eq!(err.resource, Resource::LatticeLevel);
+    }
+
+    #[test]
+    fn memory_budget_reserve_release() {
+        let token = Budget::unlimited().with_max_memory_bytes(1000).start();
+        assert!(token.reserve_memory(800, Stage::AgreeSets).is_ok());
+        token.release_memory(500);
+        assert_eq!(token.memory_bytes(), 300);
+        assert!(token.reserve_memory(600, Stage::AgreeSets).is_ok());
+        let err = token.reserve_memory(200, Stage::AgreeSets).unwrap_err();
+        assert_eq!(err.resource, Resource::Memory);
+        // Release never underflows.
+        token.release_memory(u64::MAX);
+        assert_eq!(token.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_builder_and_display() {
+        let b = Budget::unlimited()
+            .with_timeout(Duration::from_secs(5))
+            .with_max_couples(10)
+            .with_max_level(4)
+            .with_max_candidates(100)
+            .with_max_memory_bytes(1 << 20);
+        assert!(!b.is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(Budget::default().is_unlimited());
+        let err = BudgetExceeded {
+            resource: Resource::Deadline,
+            stage: Some(Stage::TaneLevels),
+            detail: "t".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "wall-clock deadline exceeded in tane-levels: t"
+        );
+        let no_stage = BudgetExceeded {
+            resource: Resource::External,
+            stage: None,
+            detail: "d".into(),
+        };
+        assert_eq!(no_stage.to_string(), "external cancellation exceeded: d");
+    }
+
+    #[test]
+    fn outcome_wrapping_and_diagnostics() {
+        let stages = vec![
+            StageReport {
+                stage: Stage::AgreeSets,
+                completed: true,
+                processed: 42,
+                planned: Some(42),
+                note: "couples".into(),
+            },
+            StageReport {
+                stage: Stage::Transversals,
+                completed: false,
+                processed: 3,
+                planned: Some(10),
+                note: "attributes; FDs for unprocessed rhs attributes are missing".into(),
+            },
+        ];
+        let why = BudgetExceeded {
+            resource: Resource::Deadline,
+            stage: Some(Stage::Transversals),
+            detail: "wall-clock deadline passed".into(),
+        };
+        let outcome = MiningOutcome::partial(7u32, why, stages);
+        assert!(!outcome.is_complete());
+        let text = outcome.diagnostics();
+        assert!(text.contains("run interrupted"), "{text}");
+        assert!(
+            text.contains("agree-sets: complete, 42 processed of 42"),
+            "{text}"
+        );
+        assert!(
+            text.contains("transversals: partial, 3 processed of 10"),
+            "{text}"
+        );
+        let mapped = outcome.map(|v| v + 1);
+        assert_eq!(mapped.result, 8);
+        assert!(!mapped.is_complete());
+
+        let done = MiningOutcome::complete(1u8, Vec::new());
+        assert!(done.is_complete());
+        assert!(done.diagnostics().contains("run complete"));
+    }
+}

@@ -10,14 +10,28 @@
 //! (c) an ablation subject (`ablation_transversal` bench).
 
 use crate::Hypergraph;
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
 use depminer_relation::{retain_minimal, AttrSet};
 
 /// Computes `Tr(H)` with Berge's algorithm. Output is sorted, matching
 /// [`crate::levelwise::min_transversals`].
 pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
+    min_transversals_governed(h, &CancelToken::unlimited()).expect("an unlimited token never trips")
+}
+
+/// [`min_transversals`] under a live [`CancelToken`]: checkpoints once
+/// per edge (the prefix transversal set can grow exponentially per
+/// step) and counts the extensions against the candidate budget. On a
+/// trip the prefix result is discarded — transversals of a prefix
+/// hypergraph say nothing about the full one.
+pub fn min_transversals_governed(
+    h: &Hypergraph,
+    token: &CancelToken,
+) -> Result<Vec<AttrSet>, BudgetExceeded> {
     // Tr of the empty hypergraph is {∅}.
     let mut tr: Vec<AttrSet> = vec![AttrSet::empty()];
     for &edge in h.edges() {
+        token.check(Stage::Transversals)?;
         let mut next: Vec<AttrSet> = Vec::with_capacity(tr.len());
         for &t in &tr {
             if t.intersects(edge) {
@@ -28,12 +42,13 @@ pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
                 }
             }
         }
+        token.add_candidates(next.len() as u64, Stage::Transversals)?;
         retain_minimal(&mut next);
         tr = next;
     }
     tr.sort();
     tr.dedup();
-    tr
+    Ok(tr)
 }
 
 #[cfg(test)]

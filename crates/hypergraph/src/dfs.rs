@@ -12,13 +12,25 @@
 //! leaves, which are filtered exactly as FastFDs does).
 
 use crate::Hypergraph;
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
 use depminer_relation::AttrSet;
 
 /// Computes `Tr(H)` by ordered depth-first search. Output is sorted,
 /// matching the other engines.
 pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
+    min_transversals_governed(h, &CancelToken::unlimited()).expect("an unlimited token never trips")
+}
+
+/// [`min_transversals`] under a live [`CancelToken`]: the token is
+/// polled at every search-tree node, so a deadline cuts the DFS off
+/// wherever it is. On a trip the partial leaf list is discarded — an
+/// incomplete enumeration cannot certify minimality.
+pub fn min_transversals_governed(
+    h: &Hypergraph,
+    token: &CancelToken,
+) -> Result<Vec<AttrSet>, BudgetExceeded> {
     if h.is_empty() {
-        return vec![AttrSet::empty()];
+        return Ok(vec![AttrSet::empty()]);
     }
     let edges = h.edges();
     let mut out: Vec<AttrSet> = Vec::new();
@@ -30,11 +42,12 @@ pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
         &uncovered,
         &candidates,
         AttrSet::empty(),
+        token,
         &mut out,
-    );
+    )?;
     out.sort_unstable();
     out.dedup();
-    out
+    Ok(out)
 }
 
 fn search(
@@ -43,13 +56,18 @@ fn search(
     uncovered: &[usize],
     candidates: &[usize],
     current: AttrSet,
+    token: &CancelToken,
     out: &mut Vec<AttrSet>,
-) {
+) -> Result<(), BudgetExceeded> {
+    // Every node is a checkpoint: the tree can be exponentially deep in
+    // dead ends, and a node does enough work (the coverage sort) that a
+    // relaxed-load poll is noise.
+    token.check(Stage::Transversals)?;
     if uncovered.is_empty() {
         if h.is_minimal_transversal(current) {
             out.push(current);
         }
-        return;
+        return Ok(());
     }
     // Order the candidates by coverage of the uncovered edges, descending;
     // attributes covering nothing are dropped.
@@ -62,7 +80,7 @@ fn search(
         .filter(|&(cover, _)| cover > 0)
         .collect();
     if ordered.is_empty() {
-        return; // dead end: uncovered edges but no usable attribute
+        return Ok(()); // dead end: uncovered edges but no usable attribute
     }
     ordered.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     for (i, &(_, a)) in ordered.iter().enumerate() {
@@ -72,8 +90,17 @@ fn search(
             .copied()
             .filter(|&e| !edges[e].contains(a))
             .collect();
-        search(h, edges, &next_uncovered, &rest, current.with(a), out);
+        search(
+            h,
+            edges,
+            &next_uncovered,
+            &rest,
+            current.with(a),
+            token,
+            out,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //! This mirrors [AS94]'s `Apriori-gen` exactly as the paper specifies.
 
 use crate::Hypergraph;
-use depminer_parallel::{par_map, Parallelism};
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
+use depminer_parallel::{par_map_governed, Parallelism};
 use depminer_relation::AttrSet;
 
 /// Levels smaller than this are checked on the calling thread even when a
@@ -39,17 +40,42 @@ pub fn min_transversals(h: &Hypergraph) -> Vec<AttrSet> {
 /// sequential run. Candidate generation stays sequential (it is a small
 /// fraction of level cost and its join order matters).
 pub fn min_transversals_with(h: &Hypergraph, par: Parallelism) -> Vec<AttrSet> {
+    min_transversals_governed(h, par, &CancelToken::unlimited())
+        .expect("an unlimited token never trips")
+}
+
+/// [`min_transversals_with`] under a live [`CancelToken`].
+///
+/// Checkpoints: once per lattice level (depth + candidate-count budgets,
+/// deadline) and every few candidates inside a wide level's parallel
+/// split. On a trip the search unwinds immediately with the budget
+/// error; no partial transversal list is returned, because a truncated
+/// level walk cannot certify minimality of what it has emitted — the
+/// caller treats the whole attribute as unprocessed.
+pub fn min_transversals_governed(
+    h: &Hypergraph,
+    par: Parallelism,
+    token: &CancelToken,
+) -> Result<Vec<AttrSet>, BudgetExceeded> {
     if h.is_empty() {
-        return vec![AttrSet::empty()];
+        return Ok(vec![AttrSet::empty()]);
     }
     let mut result: Vec<AttrSet> = Vec::new();
     // L1: attributes appearing in some edge.
     let mut level: Vec<AttrSet> = h.vertex_support().singletons().collect();
+    let mut depth = 1usize;
     while !level.is_empty() {
+        token.enter_level(depth, Stage::Transversals)?;
+        token.add_candidates(level.len() as u64, Stage::Transversals)?;
+        let level_bytes = (level.len() * std::mem::size_of::<AttrSet>()) as u64;
+        token.reserve_memory(level_bytes, Stage::Transversals)?;
         // Split the level into transversals (emitted) and survivors.
         let mut survivors: Vec<AttrSet> = Vec::with_capacity(level.len());
         if level.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
-            let flags: Vec<bool> = par_map(par, &level, |&cand| h.is_transversal(cand));
+            let flags: Vec<bool> =
+                par_map_governed(par, token, Stage::Transversals, &level, |&cand| {
+                    Ok(h.is_transversal(cand))
+                })?;
             for (&cand, is_tr) in level.iter().zip(flags) {
                 if is_tr {
                     result.push(cand);
@@ -67,9 +93,11 @@ pub fn min_transversals_with(h: &Hypergraph, par: Parallelism) -> Vec<AttrSet> {
             }
         }
         level = apriori_gen(&survivors);
+        token.release_memory(level_bytes);
+        depth += 1;
     }
     result.sort();
-    result
+    Ok(result)
 }
 
 /// `Apriori-gen` (join + prune) over an antichain of equal-size sets.

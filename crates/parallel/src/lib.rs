@@ -22,6 +22,18 @@
 //! into per-chunk slots indexed by input position. Parallel and
 //! sequential runs of the miners are asserted equal by the
 //! `parallel_equivalence` property tests.
+//!
+//! Governance: the `_governed` variants ([`par_map_governed`],
+//! [`par_map_indexed_governed`], [`par_chunks_governed`]) thread a
+//! [`CancelToken`] through the fan-out. Workers observe the token at two
+//! points — a queued chunk checks it before doing any work (so a
+//! cancelled run drains its backlog as cheap no-ops), and the per-item
+//! map polls it every [`GOVERN_POLL_STRIDE`] items (so an in-flight
+//! worker abandons a multi-second chunk promptly instead of finishing
+//! it). On a trip the helper returns the budget error; per-item closures
+//! may also fail with their own checkpoint errors, which cancel the
+//! token for every sibling chunk automatically (all budget errors
+//! originate from the shared token).
 
 #![warn(missing_docs)]
 
@@ -31,6 +43,7 @@ pub mod scope;
 pub use pool::ThreadPool;
 pub use scope::Scope;
 
+use depminer_govern::{BudgetExceeded, CancelToken, Stage};
 use std::sync::OnceLock;
 
 /// How many chunks to cut per participating thread: a little
@@ -193,6 +206,107 @@ where
         .collect()
 }
 
+/// How often the governed per-item loops poll the token: one relaxed
+/// load every this many items. Coarse enough to be free, fine enough
+/// that a cancelled run abandons an in-flight chunk within a few items.
+pub const GOVERN_POLL_STRIDE: usize = 64;
+
+/// [`par_map`] with cooperative cancellation: maps a fallible `f` over
+/// `items`, polling `token` so a tripped budget stops the fan-out
+/// promptly. Returns results in input order, or the first (leftmost)
+/// budget error.
+///
+/// Cancellation semantics: a queued chunk that starts after the trip
+/// does no work; an in-flight chunk stops within [`GOVERN_POLL_STRIDE`]
+/// items. Any `Err` from `f` is a trip of the shared token, so one
+/// failing chunk drains all its siblings.
+pub fn par_map_governed<T, R, F>(
+    par: Parallelism,
+    token: &CancelToken,
+    stage: Stage,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, BudgetExceeded>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, BudgetExceeded> + Sync,
+{
+    let map_chunk = |chunk: &[T]| -> Result<Vec<R>, BudgetExceeded> {
+        // Queued-chunk drain: a cancelled run turns its backlog into
+        // no-ops before any real work starts.
+        token.check(stage)?;
+        let mut out = Vec::with_capacity(chunk.len());
+        for (i, item) in chunk.iter().enumerate() {
+            if i % GOVERN_POLL_STRIDE == GOVERN_POLL_STRIDE - 1 {
+                // In-flight drain: abandon a long chunk mid-way.
+                token.check(stage)?;
+            }
+            out.push(f(item)?);
+        }
+        Ok(out)
+    };
+    let threads = par.effective_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return map_chunk(items);
+    }
+    let chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let nested = run_chunked(threads, items, chunk_size, map_chunk);
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in nested {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// [`par_map_indexed`] with cooperative cancellation; see
+/// [`par_map_governed`].
+pub fn par_map_indexed_governed<R, F>(
+    par: Parallelism,
+    token: &CancelToken,
+    stage: Stage,
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, BudgetExceeded>
+where
+    R: Send,
+    F: Fn(usize) -> Result<R, BudgetExceeded> + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_governed(par, token, stage, &indices, |&i| f(i))
+}
+
+/// [`par_chunks`] with cooperative cancellation: each chunk closure runs
+/// behind a token check (queued-chunk drain) and returns its own
+/// `Result`; in-flight draining inside a chunk is the closure's job
+/// (poll the token in its loops). The first (leftmost) error wins.
+pub fn par_chunks_governed<T, R, F>(
+    par: Parallelism,
+    token: &CancelToken,
+    stage: Stage,
+    items: &[T],
+    chunk_size: usize,
+    f: F,
+) -> Result<Vec<R>, BudgetExceeded>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Result<R, BudgetExceeded> + Sync,
+{
+    let run_one = |chunk: &[T]| -> Result<R, BudgetExceeded> {
+        token.check(stage)?;
+        f(chunk)
+    };
+    let chunk_size = chunk_size.max(1);
+    let threads = par.effective_threads();
+    if threads <= 1 || items.len() <= chunk_size {
+        return items.chunks(chunk_size).map(run_one).collect();
+    }
+    run_chunked(threads, items, chunk_size, run_one)
+        .into_iter()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +395,121 @@ mod tests {
             .map(|i| (0..64).map(|j| i * 1000 + j).sum())
             .collect();
         assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn governed_map_matches_ungoverned_when_unlimited() {
+        let items: Vec<u64> = (0..5000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let token = CancelToken::unlimited();
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let got = par_map_governed(par, &token, Stage::AgreeSets, &items, |&x| Ok(x * 3))
+                .expect("unlimited token never trips");
+            assert_eq!(got, expected, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn governed_map_stops_on_cancelled_token_and_pool_stays_usable() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..100_000).collect();
+        let token = CancelToken::unlimited();
+        let calls = AtomicUsize::new(0);
+        token.cancel();
+        let err = par_map_governed(
+            Parallelism::Threads(4),
+            &token,
+            Stage::AgreeSets,
+            &items,
+            |&x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(x)
+            },
+        )
+        .expect_err("cancelled token must trip the fan-out");
+        assert_eq!(err.resource, depminer_govern::Resource::External);
+        // Every queued chunk saw the cancelled token before mapping.
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // The pool is not poisoned: a fresh ungoverned run still works.
+        let sums = par_map(Parallelism::Threads(4), &items, |&x| x + 1);
+        assert_eq!(sums.len(), items.len());
+        assert_eq!(sums[10], 11);
+    }
+
+    #[test]
+    fn governed_map_in_flight_chunks_drain_at_poll_stride() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..10_000).collect();
+        let token = CancelToken::unlimited();
+        let calls = AtomicUsize::new(0);
+        let tok = token.clone();
+        // Sequential: one "chunk" = the whole input; the mid-map trip must
+        // stop the loop at the next stride poll, not at item 10 000.
+        let err = par_map_governed(
+            Parallelism::Sequential,
+            &token,
+            Stage::AgreeSets,
+            &items,
+            |&x| {
+                if x == 10 {
+                    tok.cancel();
+                }
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(x)
+            },
+        )
+        .expect_err("mid-map cancel must trip");
+        assert_eq!(err.resource, depminer_govern::Resource::External);
+        let ran = calls.load(Ordering::Relaxed);
+        assert!(
+            ran <= GOVERN_POLL_STRIDE,
+            "expected the map to stop within one poll stride, ran {ran} items"
+        );
+    }
+
+    #[test]
+    fn governed_chunks_first_error_wins_and_matches_sequential() {
+        let items: Vec<u32> = (0..1000).collect();
+        let token = CancelToken::unlimited();
+        let sums = par_chunks_governed(
+            Parallelism::Threads(4),
+            &token,
+            Stage::AgreeSets,
+            &items,
+            64,
+            |c| Ok(c.iter().sum::<u32>()),
+        )
+        .expect("unlimited token never trips");
+        let expected: Vec<u32> = items.chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+
+        let limited = depminer_govern::Budget::unlimited()
+            .with_max_couples(10)
+            .start();
+        let err = par_chunks_governed(
+            Parallelism::Threads(4),
+            &limited,
+            Stage::AgreeSets,
+            &items,
+            64,
+            |c| {
+                limited.add_couples(c.len() as u64, Stage::AgreeSets)?;
+                Ok(c.len())
+            },
+        )
+        .expect_err("couple budget must trip");
+        assert_eq!(err.resource, depminer_govern::Resource::Couples);
+    }
+
+    #[test]
+    fn governed_indexed_empty_input() {
+        let token = CancelToken::unlimited();
+        let got =
+            par_map_indexed_governed(Parallelism::Threads(4), &token, Stage::MaxSets, 0, |i| {
+                Ok(i)
+            })
+            .expect("empty input never trips");
+        assert!(got.is_empty());
     }
 
     #[test]

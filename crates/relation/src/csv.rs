@@ -90,7 +90,26 @@ fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>, RelationError> 
     Ok(fields)
 }
 
+/// Converts a line-read failure into a positioned error: invalid UTF-8 is
+/// a malformed-input problem the user can fix at a specific line, while
+/// genuine I/O failures (disk, pipe) stay [`RelationError::Io`].
+fn read_line_err(line_no: usize, e: std::io::Error) -> RelationError {
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        RelationError::Csv {
+            line: line_no,
+            message: format!("invalid UTF-8: {e}"),
+        }
+    } else {
+        RelationError::Io(e.to_string())
+    }
+}
+
 /// Reads a relation from CSV text. The first record is the header.
+///
+/// Malformed input — ragged rows, an empty or over-wide header, duplicate
+/// or blank attribute names, unterminated quotes, invalid UTF-8 — is
+/// reported as an `Err` carrying the 1-based line (and where relevant,
+/// column) it was found at, never a panic.
 pub fn read_csv<R: Read>(reader: R) -> Result<Relation, RelationError> {
     let buf = BufReader::new(reader);
     let mut lines = buf.lines().enumerate();
@@ -98,22 +117,37 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Relation, RelationError> {
         line: 1,
         message: "empty input".into(),
     })?;
-    let header = header?;
+    let header = header.map_err(|e| read_line_err(1, e))?;
     let names = parse_line(header.trim_end_matches('\r'), 1)?;
-    let schema = Schema::new(names)?;
+    for (col, name) in names.iter().enumerate() {
+        if name.trim().is_empty() {
+            return Err(RelationError::Csv {
+                line: 1,
+                message: format!("empty attribute name in header (column {})", col + 1),
+            });
+        }
+    }
+    let schema = Schema::new(names).map_err(|e| RelationError::Csv {
+        line: 1,
+        message: format!("invalid header: {e}"),
+    })?;
     let mut rows = Vec::new();
     for (i, line) in lines {
-        let line = line?;
+        let line = line.map_err(|e| read_line_err(i + 1, e))?;
         let line = line.trim_end_matches('\r');
         if line.is_empty() {
             continue;
         }
         let fields = parse_line(line, i + 1)?;
         if fields.len() != schema.arity() {
-            return Err(RelationError::ArityMismatch {
-                row: rows.len(),
-                found: fields.len(),
-                expected: schema.arity(),
+            return Err(RelationError::Csv {
+                line: i + 1,
+                message: format!(
+                    "row {} has {} fields, the header declares {}",
+                    rows.len() + 1,
+                    fields.len(),
+                    schema.arity()
+                ),
             });
         }
         rows.push(fields.iter().map(|f| Value::parse(f)).collect());
@@ -215,10 +249,76 @@ mod tests {
     #[test]
     fn errors_on_ragged_rows() {
         let csv = "a,b\n1\n";
-        assert!(matches!(
-            read_csv(csv.as_bytes()),
-            Err(RelationError::ArityMismatch { .. })
-        ));
+        match read_csv(csv.as_bytes()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("1 fields"), "{message}");
+                assert!(message.contains("declares 2"), "{message}");
+            }
+            other => panic!("expected positioned Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_blank_or_empty_header_names() {
+        // A fully blank first line is not a usable header.
+        match read_csv("\n1,2\n".as_bytes()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("column 1"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        // So is one with a blank name in the middle.
+        match read_csv("a,,c\n1,2,3\n".as_bytes()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("column 2"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_schema_errors_carry_line_context() {
+        // Duplicate names.
+        match read_csv("a,a\n1,2\n".as_bytes()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("invalid header"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        // More attributes than AttrSet supports.
+        let wide: Vec<String> = (0..crate::attrset::MAX_ATTRS + 1)
+            .map(|i| format!("c{i}"))
+            .collect();
+        let csv = format!("{}\n", wide.join(","));
+        match read_csv(csv.as_bytes()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("invalid header"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_reports_its_line() {
+        let mut bytes = b"a,b\n1,2\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b',', b'x', b'\n']);
+        match read_csv(bytes.as_slice()) {
+            Err(RelationError::Csv { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("UTF-8"), "{message}");
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        // … including in the header itself.
+        match read_csv(&[0xFF, 0xFE, b'\n'][..]) {
+            Err(RelationError::Csv { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
     }
 
     #[test]

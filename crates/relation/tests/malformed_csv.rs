@@ -1,0 +1,80 @@
+//! Malformed-input regression set: every fixture under
+//! `fixtures/malformed/` must surface as a positioned `Err` from the CSV
+//! reader — never a panic, never a silently wrong relation.
+
+use depminer_relation::{csv, RelationError};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("malformed")
+}
+
+#[test]
+fn every_malformed_fixture_errors_without_panicking() {
+    let dir = fixture_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 8,
+        "expected the full malformed fixture set, found {entries:?}"
+    );
+    for path in &entries {
+        let result = csv::read_csv_file(path);
+        let err = match result {
+            Err(e) => e,
+            Ok(r) => panic!(
+                "{} parsed successfully into {} tuples; it must error",
+                path.display(),
+                r.len()
+            ),
+        };
+        // Every rejection must carry enough context to locate the problem.
+        match &err {
+            RelationError::Csv { line, message } => {
+                assert!(*line >= 1, "{}: zero line number", path.display());
+                assert!(!message.is_empty(), "{}: empty message", path.display());
+            }
+            other => panic!(
+                "{}: expected a positioned Csv error, got {other:?}",
+                path.display()
+            ),
+        }
+        // And it must render (the CLI prints it verbatim).
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn specific_fixture_diagnostics() {
+    let dir = fixture_dir();
+    let msg = |name: &str| match csv::read_csv_file(dir.join(name)) {
+        Err(RelationError::Csv { line, message }) => (line, message),
+        other => panic!("{name}: expected Csv error, got {other:?}"),
+    };
+
+    let (line, message) = msg("ragged.csv");
+    assert_eq!(line, 3);
+    assert!(message.contains("declares 2"), "{message}");
+
+    let (line, message) = msg("too_wide.csv");
+    assert_eq!(line, 1);
+    assert!(message.contains("invalid header"), "{message}");
+
+    let (line, message) = msg("invalid_utf8.csv");
+    assert_eq!(line, 3);
+    assert!(message.contains("UTF-8"), "{message}");
+
+    let (line, _) = msg("blank_header.csv");
+    assert_eq!(line, 1);
+
+    let (line, message) = msg("unterminated_quote.csv");
+    assert_eq!(line, 2);
+    assert!(message.contains("unterminated"), "{message}");
+}

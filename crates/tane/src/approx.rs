@@ -15,6 +15,7 @@
 //! oracle cross-checks both in tests.
 
 use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_govern::{BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
 use depminer_relation::{
     AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, StrippedPartition, StrippedPartitionDb,
 };
@@ -194,7 +195,24 @@ pub struct ApproxFd {
 /// Levelwise search with per-rhs subset pruning (sound by anti-monotonicity
 /// of `g₃`); partitions are built by pairwise products as in TANE.
 pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
+    approximate_fds_governed(r, epsilon, &CancelToken::unlimited()).result
+}
+
+/// [`approximate_fds`] under a live [`CancelToken`]: level depth and
+/// width are charged to the budget at each level boundary, and the token
+/// is polled before every partition product.
+///
+/// On a trip the reported list is a valid *subset* of the minimal
+/// approximate FDs: every entry's `g₃` was computed in full and its
+/// minimality depends only on completed earlier levels — what is missing
+/// are FDs with longer left-hand sides.
+pub fn approximate_fds_governed(
+    r: &Relation,
+    epsilon: f64,
+    token: &CancelToken,
+) -> MiningOutcome<Vec<ApproxFd>> {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let stage = Stage::ApproxLevels;
     let db = StrippedPartitionDb::from_relation(r);
     let n = db.arity();
     let n_rows = db.n_rows();
@@ -225,9 +243,27 @@ pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
     let mut parts: FxHashMap<AttrSet, StrippedPartition> = (0..n)
         .map(|a| (AttrSet::singleton(a), db.partition(a).clone()))
         .collect();
-    while !level.is_empty() {
+    let mut l = 1usize;
+    let mut completed = 0usize;
+    let mut stopped: Option<BudgetExceeded> = None;
+    'levels: while !level.is_empty() {
+        if let Err(why) = token
+            .enter_level(l, stage)
+            .and_then(|()| token.add_candidates(level.len() as u64, stage))
+        {
+            stopped = Some(why);
+            break;
+        }
         // Test each candidate lhs against every rhs not yet covered.
         for &x in &level {
+            // One poll per lhs candidate: each does up to n partition
+            // products. FDs already pushed stay valid on a trip — their
+            // errors are fully computed and minimality reads only
+            // completed earlier levels.
+            if let Err(why) = token.check(stage) {
+                stopped = Some(why);
+                break 'levels;
+            }
             let px = &parts[&x];
             for (a, found_a) in found.iter_mut().enumerate() {
                 if x.contains(a) {
@@ -247,6 +283,7 @@ pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
                 }
             }
         }
+        completed = l;
         // Generate next level: extend sets that can still yield a minimal
         // FD for some rhs (i.e. some rhs has no valid subset within x).
         let extendable: Vec<AttrSet> = level
@@ -269,6 +306,11 @@ pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
                 for &y in &group[i + 1..] {
                     let z = x.union(y);
                     if z.drop_one().all(|w| present.contains(&w)) && !next_parts.contains_key(&z) {
+                        // Poll before each next-level product too.
+                        if let Err(why) = token.check(stage) {
+                            stopped = Some(why);
+                            break 'levels;
+                        }
                         let p = parts[&x].product_with(&parts[&y], &mut scratch);
                         next_parts.insert(z, p);
                         next.push(z);
@@ -279,10 +321,24 @@ pub fn approximate_fds(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
         next.sort_unstable();
         parts = next_parts;
         level = next;
+        l += 1;
     }
 
     out.sort_by_key(|afd| (afd.fd.rhs, afd.fd.lhs));
-    out
+    let report = StageReport {
+        stage,
+        completed: stopped.is_none(),
+        processed: completed as u64,
+        planned: None,
+        note: format!(
+            "{} approximate FDs reported; every entry satisfies g3 ≤ ε with minimal lhs",
+            out.len()
+        ),
+    };
+    match stopped {
+        Some(why) => MiningOutcome::partial(out, why, vec![report]),
+        None => MiningOutcome::complete(out, vec![report]),
+    }
 }
 
 /// Brute-force oracle for [`approximate_fds`]; exponential, test-only sizes.
@@ -292,6 +348,7 @@ pub fn approximate_fds_brute(r: &Relation, epsilon: f64) -> Vec<ApproxFd> {
     for a in 0..n {
         let mut minimal: Vec<AttrSet> = Vec::new();
         let mut level: Vec<AttrSet> = vec![AttrSet::empty()];
+        // ungoverned by design: test-only oracle; lint: allow(unchecked-loop)
         while !level.is_empty() {
             let mut next = Vec::new();
             for &x in &level {
@@ -548,6 +605,31 @@ mod tests {
                 sf.fd
             );
         }
+    }
+
+    #[test]
+    fn governed_approx_partial_is_valid_subset() {
+        use depminer_govern::{Budget, Resource};
+        let r = datasets::enrollment();
+        let full = approximate_fds(&r, 0.1);
+        let outcome =
+            approximate_fds_governed(&r, 0.1, &Budget::unlimited().with_max_level(1).start());
+        assert!(!outcome.is_complete() || full == outcome.result);
+        for afd in &outcome.result {
+            assert!(
+                full.iter().any(|f| f.fd == afd.fd),
+                "partial claimed {:?} not in the full answer",
+                afd.fd
+            );
+            assert!((g3_error_of(&r, afd.fd.lhs, afd.fd.rhs) - afd.error).abs() < 1e-12);
+        }
+        if let Some(why) = &outcome.interrupted {
+            assert_eq!(why.resource, Resource::LatticeLevel);
+        }
+        // Unlimited budget reproduces the plain run.
+        let complete = approximate_fds_governed(&r, 0.1, &CancelToken::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(complete.result, full);
     }
 
     #[test]

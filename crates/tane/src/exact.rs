@@ -12,7 +12,8 @@
 //! crafted and random relations.
 
 use depminer_fdtheory::{normalize_fds, Fd};
-use depminer_parallel::{par_chunks, par_map, Parallelism};
+use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
+use depminer_parallel::{par_chunks_governed, par_map, par_map_governed, Parallelism};
 use depminer_relation::{
     AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, Schema, StrippedPartition,
     StrippedPartitionDb,
@@ -139,6 +140,34 @@ impl Tane {
 
     /// Mines from a pre-computed stripped partition database.
     pub fn run_db(&self, db: &StrippedPartitionDb) -> TaneResult {
+        self.run_db_governed(db, &CancelToken::unlimited()).result
+    }
+
+    /// [`Tane::run`] under a resource [`Budget`].
+    ///
+    /// On a trip the level walk stops at the nearest clean boundary and
+    /// the outcome is partial: every FD already emitted was validated
+    /// against fully-computed previous-level partitions and candidate
+    /// sets, so the claimed list is exact (each FD holds with a minimal
+    /// lhs) — what is missing are dependencies with *longer* left-hand
+    /// sides that deeper levels would have found.
+    pub fn run_governed(&self, r: &Relation, budget: &Budget) -> MiningOutcome<TaneResult> {
+        self.run_with_token(r, &budget.start())
+    }
+
+    /// [`Tane::run_governed`] with a caller-supplied token.
+    pub fn run_with_token(&self, r: &Relation, token: &CancelToken) -> MiningOutcome<TaneResult> {
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
+        self.run_db_governed(&db, token)
+    }
+
+    /// [`Tane::run_db`] under a live [`CancelToken`]. See
+    /// [`Tane::run_governed`] for the partial-result contract.
+    pub fn run_db_governed(
+        &self,
+        db: &StrippedPartitionDb,
+        token: &CancelToken,
+    ) -> MiningOutcome<TaneResult> {
         let t0 = Instant::now();
         let n = db.arity();
         let n_rows = db.n_rows();
@@ -168,7 +197,20 @@ impl Tane {
         let mut scratch = ProductScratch::new(n_rows);
 
         let mut l = 1usize;
+        let mut stopped: Option<BudgetExceeded> = None;
+        let mut completed_levels = 0usize;
         while !level.is_empty() {
+            // Level entry is the primary checkpoint: depth and candidate
+            // budgets are charged before any of the level's work starts, so
+            // a trip leaves the FD list exactly at the previous level's
+            // clean boundary.
+            if let Err(why) = token
+                .enter_level(l, Stage::TaneLevels)
+                .and_then(|()| token.add_candidates(level.len() as u64, Stage::TaneLevels))
+            {
+                stopped = Some(why);
+                break;
+            }
             stats.levels = l;
             stats.candidates += level.len();
 
@@ -195,33 +237,41 @@ impl Tane {
             // and its own C⁺ (which evolves locally as attributes are
             // removed), so they fan out too; the (new C⁺, emitted FDs)
             // outcomes are applied in level order afterwards, keeping the
-            // FD emission order identical to the sequential run.
-            let outcomes: Vec<(AttrSet, Vec<Fd>)> = par_map(par, &level, |&x| {
-                let mut c = cplus[&x];
-                // Without rhs pruning, test every attribute of X; C⁺ is
-                // still *maintained* (the key-pruning minimality test needs
-                // it) but not used to skip validity checks.
-                let cx = if self.rhs_pruning { c } else { full };
-                let ex = err(&parts[&x]);
-                let mut found: Vec<Fd> = Vec::new();
-                for a in x.intersection(cx).iter() {
-                    let xa = x.without(a);
-                    let e_sub = if xa.is_empty() {
-                        err_empty
-                    } else {
-                        err(&prev_parts[&xa])
-                    };
-                    if e_sub == ex {
-                        // X\{A} → A is valid; minimal iff C⁺ still allows A.
-                        if c.contains(a) {
-                            found.push(Fd::new(xa, a));
+            // FD emission order identical to the sequential run. A trip
+            // mid-level discards the level's partial outcomes entirely.
+            let outcomes: Vec<(AttrSet, Vec<Fd>)> =
+                match par_map_governed(par, token, Stage::TaneLevels, &level, |&x| {
+                    let mut c = cplus[&x];
+                    // Without rhs pruning, test every attribute of X; C⁺ is
+                    // still *maintained* (the key-pruning minimality test
+                    // needs it) but not used to skip validity checks.
+                    let cx = if self.rhs_pruning { c } else { full };
+                    let ex = err(&parts[&x]);
+                    let mut found: Vec<Fd> = Vec::new();
+                    for a in x.intersection(cx).iter() {
+                        let xa = x.without(a);
+                        let e_sub = if xa.is_empty() {
+                            err_empty
+                        } else {
+                            err(&prev_parts[&xa])
+                        };
+                        if e_sub == ex {
+                            // X\{A} → A is valid; minimal iff C⁺ allows A.
+                            if c.contains(a) {
+                                found.push(Fd::new(xa, a));
+                            }
+                            c.remove(a);
+                            c = c.difference(full.difference(x));
                         }
-                        c.remove(a);
-                        c = c.difference(full.difference(x));
                     }
-                }
-                (c, found)
-            });
+                    Ok((c, found))
+                }) {
+                    Ok(o) => o,
+                    Err(why) => {
+                        stopped = Some(why);
+                        break;
+                    }
+                };
             for (&x, (c, found)) in level.iter().zip(outcomes) {
                 cplus.insert(x, c);
                 fds.extend(found);
@@ -248,16 +298,25 @@ impl Tane {
                 }
                 survivors.push(x);
             }
+            // All of level l's FDs are in: this is the new clean boundary.
+            completed_levels = l;
 
             // --- GENERATE_NEXT_LEVEL ------------------------------------
-            let (next_level, next_parts) = generate_next(
+            let (next_level, next_parts) = match generate_next(
                 &survivors,
                 &parts,
                 &mut scratch,
                 &mut stats,
                 self.parallelism,
                 n_rows,
-            );
+                token,
+            ) {
+                Ok(next) => next,
+                Err(why) => {
+                    stopped = Some(why);
+                    break;
+                }
+            };
             prev_parts = std::mem::take(&mut parts);
             parts = next_parts;
             level = next_level;
@@ -266,11 +325,26 @@ impl Tane {
 
         normalize_fds(&mut fds);
         stats.elapsed = t0.elapsed();
-        TaneResult {
+        let result = TaneResult {
             schema: db.schema().clone(),
             n_rows,
             fds,
             stats,
+        };
+        let report = StageReport {
+            stage: Stage::TaneLevels,
+            completed: stopped.is_none(),
+            processed: completed_levels as u64,
+            planned: None,
+            note: format!(
+                "{} lattice nodes examined; emitted FDs (lhs size < {}) are exact",
+                result.stats.candidates,
+                completed_levels + 1
+            ),
+        };
+        match stopped {
+            Some(why) => MiningOutcome::partial(result, why, vec![report]),
+            None => MiningOutcome::complete(result, vec![report]),
         }
     }
 }
@@ -303,6 +377,10 @@ fn cplus_lookup(y: AttrSet, cplus: &mut FxHashMap<AttrSet, AttrSet>) -> AttrSet 
 /// products, the dominant per-level cost, fan out across threads with one
 /// [`ProductScratch`] per chunk. Pairs are sorted by `Z` before the
 /// fan-out, so chunk boundaries and the returned level are deterministic.
+///
+/// Partition products are the dominant per-level cost, so the token is
+/// polled per product; the next level's partition memory is charged to the
+/// budget (and the previous level's released by the caller's swap).
 fn generate_next(
     survivors: &[AttrSet],
     parts: &FxHashMap<AttrSet, StrippedPartition>,
@@ -310,7 +388,8 @@ fn generate_next(
     stats: &mut TaneStats,
     par: Parallelism,
     n_rows: usize,
-) -> (Vec<AttrSet>, FxHashMap<AttrSet, StrippedPartition>) {
+    token: &CancelToken,
+) -> Result<(Vec<AttrSet>, FxHashMap<AttrSet, StrippedPartition>), BudgetExceeded> {
     let present: FxHashSet<AttrSet> = survivors.iter().copied().collect();
     let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
     for &x in survivors {
@@ -336,26 +415,39 @@ fn generate_next(
     let produced: Vec<StrippedPartition> =
         if pairs.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
             let chunk = pairs.len().div_ceil(par.effective_threads() * 4).max(1);
-            par_chunks(par, &pairs, chunk, |chunk_pairs| {
-                let mut local_scratch = ProductScratch::new(n_rows);
-                chunk_pairs
-                    .iter()
-                    .map(|&(x, y, _)| parts[&x].product_with(&parts[&y], &mut local_scratch))
-                    .collect::<Vec<_>>()
-            })
+            par_chunks_governed(
+                par,
+                token,
+                Stage::TaneLevels,
+                &pairs,
+                chunk,
+                |chunk_pairs| {
+                    let mut local_scratch = ProductScratch::new(n_rows);
+                    chunk_pairs
+                        .iter()
+                        .map(|&(x, y, _)| {
+                            token.check(Stage::TaneLevels)?;
+                            Ok(parts[&x].product_with(&parts[&y], &mut local_scratch))
+                        })
+                        .collect::<Result<Vec<_>, BudgetExceeded>>()
+                },
+            )?
             .into_iter()
             .flatten()
             .collect()
         } else {
             pairs
                 .iter()
-                .map(|&(x, y, _)| parts[&x].product_with(&parts[&y], scratch))
-                .collect()
+                .map(|&(x, y, _)| {
+                    token.check(Stage::TaneLevels)?;
+                    Ok(parts[&x].product_with(&parts[&y], scratch))
+                })
+                .collect::<Result<Vec<_>, BudgetExceeded>>()?
         };
     let next: Vec<AttrSet> = pairs.iter().map(|p| p.2).collect();
     let next_parts: FxHashMap<AttrSet, StrippedPartition> =
         next.iter().copied().zip(produced).collect();
-    (next, next_parts)
+    Ok((next, next_parts))
 }
 
 #[cfg(test)]
@@ -470,6 +562,58 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn governed_unlimited_budget_matches_plain_run() {
+        let r = datasets::employee();
+        let outcome = Tane::new().run_governed(&r, &Budget::unlimited());
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.result.fds, Tane::new().run(&r).fds);
+        assert!(outcome.stages[0].completed);
+    }
+
+    #[test]
+    fn level_budget_yields_exact_prefix() {
+        let r = datasets::employee();
+        let full = Tane::new().run(&r);
+        // Depth 1 only: single-attribute lattice nodes, so only FDs with
+        // empty lhs (none here) can be emitted — but whatever comes out
+        // must be a subset of the minimal cover.
+        for max_level in 1..=3 {
+            let budget = depminer_govern::Budget::unlimited().with_max_level(max_level);
+            let outcome = Tane::new().run_governed(&r, &budget);
+            for fd in &outcome.result.fds {
+                assert!(
+                    full.fds.contains(fd),
+                    "max_level={max_level}: claimed FD {fd} not in the minimal cover"
+                );
+                assert!(
+                    fd.lhs.len() <= max_level,
+                    "lhs longer than completed levels"
+                );
+            }
+            if !outcome.is_complete() {
+                assert!(outcome.interrupted.is_some());
+                assert_eq!(outcome.stages[0].processed, max_level as u64);
+            }
+        }
+        // A budget deep enough for the whole lattice is complete.
+        let outcome =
+            Tane::new().run_governed(&r, &depminer_govern::Budget::unlimited().with_max_level(16));
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.result.fds, full.fds);
+    }
+
+    #[test]
+    fn cancelled_token_stops_immediately() {
+        let r = datasets::enrollment();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let outcome = Tane::new().run_with_token(&r, &token);
+        assert!(!outcome.is_complete());
+        assert!(outcome.result.fds.is_empty());
+        assert_eq!(outcome.stages[0].processed, 0);
     }
 
     #[test]

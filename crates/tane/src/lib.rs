@@ -34,9 +34,10 @@ pub mod armstrong_ext;
 pub mod exact;
 
 pub use approx::{
-    approximate_fds, approximate_fds_brute, g1_error, g1_error_of, g2_error, g2_error_of, g3_error,
-    g3_error_of, ApproxFd,
+    approximate_fds, approximate_fds_brute, approximate_fds_governed, g1_error, g1_error_of,
+    g2_error, g2_error_of, g3_error, g3_error_of, ApproxFd,
 };
 pub use armstrong_ext::{max_sets_from_fds, max_union_from_fds};
+pub use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, StageReport};
 pub use depminer_parallel::Parallelism;
 pub use exact::{lhs_families_from_fds, Tane, TaneResult, TaneStats};

@@ -1,7 +1,7 @@
 //! The lint engine: a dependency-free, line/token-level static-analysis
 //! pass over the workspace's own sources.
 //!
-//! Six project-specific rules (see DESIGN.md "Correctness tooling"):
+//! Seven project-specific rules (see DESIGN.md "Correctness tooling"):
 //!
 //! | rule               | what it flags                                          |
 //! |--------------------|--------------------------------------------------------|
@@ -11,6 +11,7 @@
 //! | `attr-count`       | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
 //! | `header-hygiene`   | `lib.rs` missing the `#![warn(missing_docs)]` header   |
 //! | `raw-thread-spawn` | `thread::spawn`/`thread::Builder` outside the parallel runtime |
+//! | `unchecked-loop`   | `while`/`loop` in a lattice module with no budget checkpoint |
 //!
 //! Scope: test code is exempt — files under `tests/`, `benches/`,
 //! `examples/`, `fixtures/`, and in-file `#[cfg(test)]` modules. Any
@@ -26,13 +27,14 @@
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
     "attr-count",
     "header-hygiene",
     "raw-thread-spawn",
+    "unchecked-loop",
 ];
 
 /// One finding: a rule violated at a file:line location.
@@ -532,6 +534,99 @@ fn check_raw_thread_spawn(
     }
 }
 
+/// `true` for the lattice-walk modules whose loops can run unbounded on
+/// adversarial input and therefore must poll the governance token.
+fn path_in_lattice_modules(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    [
+        "crates/hypergraph/src/levelwise.rs",
+        "crates/tane/src/exact.rs",
+        "crates/tane/src/approx.rs",
+    ]
+    .iter()
+    .any(|m| norm.ends_with(m))
+}
+
+/// Tokens that count as a budget checkpoint inside a loop body: any
+/// `CancelToken` method that can observe a trip.
+const CHECKPOINT_TOKENS: [&str; 6] = [
+    "check",
+    "enter_level",
+    "add_couples",
+    "add_candidates",
+    "reserve_memory",
+    "is_cancelled",
+];
+
+/// Rule `unchecked-loop`: a `while`/`loop` in the levelwise/lattice
+/// modules ([`path_in_lattice_modules`]) whose body never polls a
+/// [`CHECKPOINT_TOKENS`] method can run unbounded past any budget. A loop
+/// that is genuinely bounded (or an ungoverned test oracle) carries a
+/// `// lint: allow(unchecked-loop)` marker saying so.
+fn check_unchecked_loop(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !path_in_lattice_modules(path) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "unchecked-loop") {
+            continue;
+        }
+        let mut head = line.code.trim_start();
+        // Strip a loop label (`'levels: while …`).
+        if head.starts_with('\'') {
+            match head.split_once(':') {
+                Some((_, rest)) => head = rest.trim_start(),
+                None => continue,
+            }
+        }
+        let is_loop_head = head.starts_with("while ")
+            || head.starts_with("while(")
+            || head == "loop"
+            || head.starts_with("loop ")
+            || head.starts_with("loop{");
+        if !is_loop_head {
+            continue;
+        }
+        // Loop body extent by brace matching from the head line.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = idx;
+        for (j, l) in lines.iter().enumerate().skip(idx) {
+            for c in l.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                end = j;
+                break;
+            }
+            end = j;
+        }
+        let checkpointed = lines[idx..=end]
+            .iter()
+            .any(|l| CHECKPOINT_TOKENS.iter().any(|t| has_token(&l.code, t)));
+        if !checkpointed {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "unchecked-loop",
+                message: "`while`/`loop` in a lattice module with no budget checkpoint; poll a `CancelToken` method (check/enter_level/add_candidates/…) in the body".to_string(),
+            });
+        }
+    }
+}
+
 /// Rule `header-hygiene`: every `lib.rs` must carry
 /// `#![warn(missing_docs)]` (or the stricter `#![deny(warnings)]`) near
 /// the top, so undocumented public items fail `cargo test` under the
@@ -579,6 +674,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
         check_unordered_iter(path, &lines, &in_test, &mut out);
         check_attr_count(path, &lines, &in_test, &mut out);
         check_raw_thread_spawn(path, &lines, &in_test, &mut out);
+        check_unchecked_loop(path, &lines, &in_test, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -742,6 +838,61 @@ mod tests {
         let diags =
             lint("fn f() {\n    std::thread::spawn(|| {}); // lint: allow(raw-thread-spawn)\n}\n");
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    const LATTICE: &str = "crates/tane/src/exact.rs";
+
+    fn lint_lattice(body: &str) -> Vec<Diagnostic> {
+        lint_file(LATTICE, &format!("{HEADER}{body}"))
+    }
+
+    #[test]
+    fn unchecked_loop_flags_unpolled_while_in_lattice_module() {
+        let diags = lint_lattice(
+            "fn walk(mut level: Vec<u32>) {\n    while !level.is_empty() {\n        level.pop();\n    }\n}\n",
+        );
+        assert_eq!(rules(&diags), ["unchecked-loop"]);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("CancelToken"));
+        // `loop` and labeled heads are covered too.
+        let labeled = lint_lattice(
+            "fn walk(mut level: Vec<u32>) {\n    'levels: loop {\n        if level.pop().is_none() { break 'levels; }\n    }\n}\n",
+        );
+        assert_eq!(rules(&labeled), ["unchecked-loop"]);
+    }
+
+    #[test]
+    fn unchecked_loop_accepts_checkpointed_bodies() {
+        for poll in [
+            "token.check(Stage::TaneLevels)?;",
+            "token.enter_level(l, stage)?;",
+            "token.add_candidates(level.len() as u64, stage)?;",
+            "if token.is_cancelled() { break; }",
+        ] {
+            let body = format!(
+                "fn walk(mut level: Vec<u32>) {{\n    while !level.is_empty() {{\n        {poll}\n        level.pop();\n    }}\n}}\n"
+            );
+            let diags = lint_lattice(&body);
+            assert!(diags.is_empty(), "poll {poll}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn unchecked_loop_scope_and_escape_hatch() {
+        let body = "fn walk(mut level: Vec<u32>) {\n    while !level.is_empty() {\n        level.pop();\n    }\n}\n";
+        // Outside the lattice modules the rule does not apply.
+        let other = lint_file(LIB, &format!("{HEADER}{body}"));
+        assert!(other.is_empty(), "{other:?}");
+        // The escape hatch names the rule.
+        let allowed = lint_lattice(
+            "fn walk(mut level: Vec<u32>) {\n    // bounded by arity; lint: allow(unchecked-loop)\n    while !level.is_empty() {\n        level.pop();\n    }\n}\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+        // Test modules are exempt.
+        let test_mod = lint_lattice(
+            "#[cfg(test)]\nmod tests {\n    fn t(mut v: Vec<u32>) {\n        while !v.is_empty() { v.pop(); }\n    }\n}\n",
+        );
+        assert!(test_mod.is_empty(), "{test_mod:?}");
     }
 
     #[test]

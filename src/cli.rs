@@ -14,23 +14,31 @@
 //! depminer generate --attrs <n> --rows <n> [--correlation <c>] [--seed <s>] <out.csv>
 //! ```
 //!
+//! `fds`, `approx` and `armstrong` also accept `--timeout <secs>` and
+//! `--max-couples <n>`: mining then runs under a resource [`Budget`] and a
+//! budget-exhausted run prints whatever partial result is valid plus
+//! per-stage diagnostics, exiting with code **3** (distinct from 1 =
+//! runtime error and 2 = usage error).
+//!
 //! All logic lives here (unit-testable against in-memory writers); the
 //! binary in `src/bin/` only forwards `std::env::args`.
 
 use depminer_core::DepMiner;
 use depminer_fdep::Fdep;
 use depminer_fdtheory::{candidate_keys, canonical_cover, is_bcnf, synthesize_3nf};
+use depminer_govern::{Budget, BudgetExceeded, MiningOutcome};
 use depminer_relation::{csv, Relation, SyntheticConfig};
-use depminer_tane::{approximate_fds, Tane};
+use depminer_tane::{approximate_fds, approximate_fds_governed, Tane};
 use std::fmt;
 use std::io::Write;
+use std::time::Duration;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Process exit code (2 = usage, 1 = runtime).
+    /// Process exit code (2 = usage, 1 = runtime, 3 = budget exhausted).
     pub code: i32,
 }
 
@@ -56,6 +64,50 @@ fn run_err(msg: impl Into<String>) -> CliError {
     }
 }
 
+fn budget_err(why: &BudgetExceeded) -> CliError {
+    CliError {
+        message: format!("budget exhausted: {why}"),
+        code: 3,
+    }
+}
+
+/// Builds a [`Budget`] from `--timeout <secs>` / `--max-couples <n>`;
+/// `None` when neither flag is present (the ungoverned fast path).
+fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
+    let timeout: Option<f64> = args.get_parsed("timeout")?;
+    let max_couples: Option<u64> = args.get_parsed("max-couples")?;
+    if timeout.is_none() && max_couples.is_none() {
+        return Ok(None);
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(secs) = timeout {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(usage_err("--timeout must be a positive number of seconds"));
+        }
+        budget = budget.with_timeout(Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = max_couples {
+        budget = budget.with_max_couples(n);
+    }
+    Ok(Some(budget))
+}
+
+/// Prints per-stage diagnostics for an interrupted run and converts the
+/// trip into the exit-code-3 error.
+fn report_interrupted<T>(
+    outcome: &MiningOutcome<T>,
+    why: &BudgetExceeded,
+    out: &mut dyn Write,
+) -> CliError {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    for line in outcome.diagnostics().lines() {
+        if let Err(e) = writeln!(out, "# {line}") {
+            return io(e);
+        }
+    }
+    budget_err(why)
+}
+
 const USAGE: &str = "\
 depminer — functional-dependency discovery and Armstrong relations (EDBT 2000)
 
@@ -72,6 +124,11 @@ USAGE:
     depminer prove --goal \"<X -> Y>\" <fds.txt>
     depminer generate --attrs <n> --rows <n> [--correlation <c>] [--seed <s>] <out.csv>
     depminer help
+
+BUDGETS:
+    fds, approx and armstrong accept --timeout <secs> and --max-couples <n>.
+    When the budget runs out the valid partial result and per-stage
+    diagnostics are printed and the process exits with code 3.
 
 FD FILE FORMAT (design / prove):
     attributes: city street zip
@@ -180,6 +237,49 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
     let r = load(args.single_file()?)?;
     let algo = args.get("algo").unwrap_or("depminer");
+    if let Some(budget) = budget_from_args(args)? {
+        let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo {
+            "depminer" => DepMiner::algorithm_2(None)
+                .mine_governed(&r, &budget)
+                .map(|res| res.fds),
+            "depminer2" => DepMiner::algorithm_3()
+                .mine_governed(&r, &budget)
+                .map(|res| res.fds),
+            "tane" => Tane::new().run_governed(&r, &budget).map(|res| res.fds),
+            "fdep" => Fdep::new().run_governed(&r, &budget).map(|res| res.fds),
+            other => {
+                return Err(usage_err(format!(
+                    "--timeout/--max-couples are not supported with --algo {other}"
+                )))
+            }
+        };
+        writeln!(
+            out,
+            "# {} minimal non-trivial FDs in {} ({} tuples, {} attributes), algo = {algo}{}",
+            outcome.result.len(),
+            args.single_file()?,
+            r.len(),
+            r.arity(),
+            if outcome.is_complete() {
+                ""
+            } else {
+                " [PARTIAL]"
+            }
+        )
+        .map_err(io)?;
+        for fd in &outcome.result {
+            writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
+        }
+        if let Some(why) = outcome.interrupted.clone() {
+            return Err(report_interrupted(&outcome, &why, out));
+        }
+        if let Some(path) = args.get("save") {
+            let text = depminer_fdtheory::fdfile::render(r.schema(), &outcome.result);
+            std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "# saved FD file to {path}").map_err(io)?;
+        }
+        return Ok(());
+    }
     let fds = match algo {
         "depminer" => DepMiner::algorithm_2(None).mine(&r).fds,
         "depminer2" => DepMiner::algorithm_3().mine(&r).fds,
@@ -211,13 +311,32 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_armstrong(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
     let r = load(args.single_file()?)?;
-    let result = DepMiner::new().mine(&r);
+    // One token spans mining AND generation so --timeout bounds the whole
+    // command; a trip in either half exits with code 3.
+    let token = match budget_from_args(args)? {
+        Some(budget) => budget.start(),
+        None => depminer_govern::CancelToken::unlimited(),
+    };
+    let outcome = DepMiner::new().mine_with_token(&r, &token);
+    if let Some(why) = outcome.interrupted.clone() {
+        writeln!(
+            out,
+            "# budget exhausted while mining; no Armstrong relation"
+        )
+        .map_err(io)?;
+        return Err(report_interrupted(&outcome, &why, out));
+    }
+    let result = outcome.result;
     let arm = if args.has("synthetic") {
-        result.synthetic_armstrong()
+        match result.synthetic_armstrong_governed(&token) {
+            Ok(arm) => arm,
+            Err(why) => return Err(budget_err(&why)),
+        }
     } else {
-        result
-            .real_world_armstrong(&r)
-            .map_err(|e| run_err(format!("{e}; retry with --synthetic")))?
+        match result.real_world_armstrong_governed(&r, &token) {
+            Ok(built) => built.map_err(|e| run_err(format!("{e}; retry with --synthetic")))?,
+            Err(why) => return Err(budget_err(&why)),
+        }
     };
     writeln!(
         out,
@@ -261,6 +380,33 @@ fn cmd_approx(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(usage_err("--epsilon must be in [0, 1]"));
     }
     let r = load(args.single_file()?)?;
+    if let Some(budget) = budget_from_args(args)? {
+        let outcome = approximate_fds_governed(&r, epsilon, &budget.start());
+        writeln!(
+            out,
+            "# {} minimal approximate FDs with g3 <= {epsilon}{}",
+            outcome.result.len(),
+            if outcome.is_complete() {
+                ""
+            } else {
+                " [PARTIAL]"
+            }
+        )
+        .map_err(io)?;
+        for afd in &outcome.result {
+            writeln!(
+                out,
+                "{:<40} g3 = {:.4}",
+                afd.fd.display_with(r.schema()),
+                afd.error
+            )
+            .map_err(io)?;
+        }
+        if let Some(why) = outcome.interrupted.clone() {
+            return Err(report_interrupted(&outcome, &why, out));
+        }
+        return Ok(());
+    }
     let afds = approximate_fds(&r, epsilon);
     writeln!(
         out,
@@ -774,6 +920,93 @@ zip -> city
         assert!(out.contains("[customer]"), "missing FK IND:\n{out}");
         assert!(out.contains("⊆"));
         assert_eq!(run_cli(&["inds"]).unwrap_err().code, 2);
+    }
+
+    /// Like [`run_cli`] but keeps the captured output even when the
+    /// command fails (budget-exhausted runs print partial results first).
+    fn run_cli_capture(args: &[&str]) -> (String, Result<(), CliError>) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let res = run(&args, &mut out);
+        (String::from_utf8(out).expect("utf8 output"), res)
+    }
+
+    #[test]
+    fn budget_flags_pass_through_when_generous() {
+        let path = tmp_csv("budget_ok.csv", ZIP_CSV);
+        for algo in ["depminer", "depminer2", "tane", "fdep"] {
+            let out = run_cli(&[
+                "fds",
+                "--algo",
+                algo,
+                "--timeout",
+                "60",
+                "--max-couples",
+                "1000000",
+                &path,
+            ])
+            .unwrap();
+            assert!(out.contains("zip -> city"), "algo {algo}:\n{out}");
+            assert!(!out.contains("PARTIAL"), "algo {algo}:\n{out}");
+        }
+        let out = run_cli(&["armstrong", "--timeout", "60", &path]).unwrap();
+        assert!(out.contains("Armstrong relation"));
+        let out = run_cli(&["approx", "--epsilon", "0.5", "--timeout", "60", &path]).unwrap();
+        assert!(out.contains("g3 ="));
+    }
+
+    #[test]
+    fn exhausted_budget_exits_with_code_3_and_diagnostics() {
+        let path = tmp_csv("budget_trip.csv", ZIP_CSV);
+        let (out, res) = run_cli_capture(&["fds", "--max-couples", "0", &path]);
+        let err = res.unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("budget exhausted"), "{}", err.message);
+        assert!(out.contains("PARTIAL"), "{out}");
+        assert!(out.contains("run interrupted"), "{out}");
+        assert!(out.contains("agree-sets"), "{out}");
+
+        let (out, res) = run_cli_capture(&["armstrong", "--max-couples", "0", &path]);
+        assert_eq!(res.unwrap_err().code, 3);
+        assert!(out.contains("no Armstrong relation"), "{out}");
+
+        let (_, res) = run_cli_capture(&[
+            "approx",
+            "--epsilon",
+            "0.5",
+            "--timeout",
+            "0.000000001",
+            &path,
+        ]);
+        assert_eq!(res.unwrap_err().code, 3);
+    }
+
+    #[test]
+    fn budget_flag_validation() {
+        let path = tmp_csv("budget_bad.csv", ZIP_CSV);
+        // naive has no governed variant
+        assert_eq!(
+            run_cli(&["fds", "--algo", "naive", "--timeout", "60", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&["fds", "--timeout", "0", &path]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_cli(&["fds", "--timeout", "abc", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&["fds", "--max-couples", "-1", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
     }
 
     #[test]

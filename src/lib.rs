@@ -46,6 +46,7 @@ pub mod cli;
 pub use depminer_core as depminer;
 pub use depminer_fdep as fdep;
 pub use depminer_fdtheory as fdtheory;
+pub use depminer_govern as govern;
 pub use depminer_hypergraph as hypergraph;
 pub use depminer_ind as ind;
 pub use depminer_parallel as parallel;
@@ -59,6 +60,7 @@ pub mod prelude {
     };
     pub use depminer_fdep::Fdep;
     pub use depminer_fdtheory::Fd;
+    pub use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, StageReport};
     pub use depminer_relation::{
         AttrSet, Relation, Schema, StrippedPartitionDb, SyntheticConfig, Value,
     };

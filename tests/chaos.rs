@@ -1,0 +1,219 @@
+//! Chaos property tests (`--features faults`): deterministic fault
+//! injection at governance checkpoints.
+//!
+//! A seeded SplitMix64 `Prng` sweeps fault ordinals across each miner's
+//! checkpoint range, so over the sweep every cooperative checkpoint
+//! becomes an injection point. The property under test, for every
+//! injection: the run yields either a complete result identical to the
+//! fault-free baseline, or a well-formed partial one — never a hang, a
+//! poisoned pool, or a silently wrong FD set. Partial Dep-Miner results
+//! must pass `MiningResult::audit_claimed_fds` on the subset they claim;
+//! partial TANE / approx results must be subsets of the fault-free cover.
+
+#![cfg(feature = "faults")]
+
+use depminer::depminer::{AgreeSetStrategy, DepMiner, TransversalEngine};
+use depminer::govern::faults::{FaultKind, FaultPlan};
+use depminer::govern::{Budget, Resource};
+use depminer::relation::{Prng, Relation, SyntheticConfig};
+use depminer::tane::{approximate_fds, approximate_fds_governed, Tane};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A small but structurally rich workload: enough agree sets, lattice
+/// levels, and transversal work that every stage sees checkpoints.
+fn workload() -> Relation {
+    SyntheticConfig {
+        n_attrs: 8,
+        n_rows: 80,
+        correlation: 0.6,
+        seed: 0xC4A0_5001,
+    }
+    .generate()
+    .expect("valid synthetic config")
+}
+
+/// The miner configurations under chaos (both agree-set algorithms and
+/// both transversal engines that differ structurally).
+fn miners() -> Vec<DepMiner> {
+    vec![
+        DepMiner::algorithm_2(None),
+        DepMiner::algorithm_3(),
+        DepMiner {
+            strategy: AgreeSetStrategy::Naive,
+            ..DepMiner::new()
+        }
+        .with_engine(TransversalEngine::Berge),
+        DepMiner::new().with_engine(TransversalEngine::Dfs),
+    ]
+}
+
+/// Ordinal range the sweeps draw from. Large enough to land beyond the
+/// final checkpoint sometimes — those runs must complete and match the
+/// baseline exactly, which is itself part of the property.
+const ORDINAL_RANGE: std::ops::Range<u64> = 0..600;
+
+#[test]
+fn injected_cancellation_yields_complete_or_audited_partial() {
+    let r = workload();
+    let mut rng = Prng::seed_from_u64(0xFA01);
+    for miner in miners() {
+        let baseline = miner.mine(&r);
+        for _ in 0..12 {
+            let at = rng.gen_range(ORDINAL_RANGE);
+            let token = Budget::unlimited().start_with_fault(FaultPlan::new(FaultKind::Cancel, at));
+            let outcome = miner.mine_with_token(&r, &token);
+            match &outcome.interrupted {
+                None => assert_eq!(outcome.result.fds, baseline.fds, "ordinal {at}"),
+                Some(why) => {
+                    assert_eq!(why.resource, Resource::InjectedFault, "ordinal {at}");
+                    outcome
+                        .result
+                        .audit_claimed_fds(&r)
+                        .unwrap_or_else(|e| panic!("ordinal {at}: bad partial: {e}"));
+                    // Claimed FDs must come from the true cover — a
+                    // partial run may drop FDs, never invent them.
+                    for fd in &outcome.result.fds {
+                        assert!(baseline.fds.contains(fd), "ordinal {at}: invented {fd}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_memory_exhaustion_yields_complete_or_audited_partial() {
+    let r = workload();
+    let miner = DepMiner::new();
+    let baseline = miner.mine(&r);
+    let mut rng = Prng::seed_from_u64(0xFA02);
+    for _ in 0..20 {
+        let at = rng.gen_range(ORDINAL_RANGE);
+        let token =
+            Budget::unlimited().start_with_fault(FaultPlan::new(FaultKind::MemoryExhaust, at));
+        let outcome = miner.mine_with_token(&r, &token);
+        match &outcome.interrupted {
+            None => assert_eq!(outcome.result.fds, baseline.fds, "ordinal {at}"),
+            Some(why) => {
+                assert_eq!(why.resource, Resource::Memory, "ordinal {at}");
+                outcome
+                    .result
+                    .audit_claimed_fds(&r)
+                    .unwrap_or_else(|e| panic!("ordinal {at}: bad partial: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_worker_panic_never_poisons_the_pool() {
+    let r = workload();
+    let miner = DepMiner::new();
+    let baseline = miner.mine(&r).fds;
+    let mut rng = Prng::seed_from_u64(0xFA03);
+    for _ in 0..12 {
+        let at = rng.gen_range(ORDINAL_RANGE);
+        let token = Budget::unlimited().start_with_fault(FaultPlan::new(FaultKind::Panic, at));
+        let run = catch_unwind(AssertUnwindSafe(|| miner.mine_with_token(&r, &token)));
+        if let Ok(outcome) = run {
+            // The armed ordinal was past the last checkpoint: a clean,
+            // complete, correct run.
+            assert!(outcome.is_complete(), "ordinal {at}");
+            assert_eq!(outcome.result.fds, baseline, "ordinal {at}");
+        }
+        // Whether the panic fired or not, the runtime must be reusable:
+        // an immediate fault-free rerun produces the exact baseline.
+        assert_eq!(miner.mine(&r).fds, baseline, "rerun after ordinal {at}");
+    }
+}
+
+#[test]
+fn tane_under_injected_faults_is_exact_or_a_clean_prefix() {
+    let r = workload();
+    let tane = Tane::new();
+    let baseline = tane.run(&r).fds;
+    let mut rng = Prng::seed_from_u64(0xFA04);
+    for kind in [FaultKind::Cancel, FaultKind::MemoryExhaust] {
+        for _ in 0..10 {
+            let at = rng.gen_range(ORDINAL_RANGE);
+            let token = Budget::unlimited().start_with_fault(FaultPlan::new(kind, at));
+            let outcome = tane.run_with_token(&r, &token);
+            if outcome.is_complete() {
+                assert_eq!(outcome.result.fds, baseline, "{kind:?} ordinal {at}");
+            } else {
+                for fd in &outcome.result.fds {
+                    assert!(
+                        baseline.contains(fd),
+                        "{kind:?} ordinal {at}: invented {fd}"
+                    );
+                }
+            }
+        }
+    }
+    // Panic injection: the lattice walk unwinds without corrupting
+    // process-wide state; reruns stay exact.
+    for _ in 0..6 {
+        let at = rng.gen_range(ORDINAL_RANGE);
+        let token = Budget::unlimited().start_with_fault(FaultPlan::new(FaultKind::Panic, at));
+        let _ = catch_unwind(AssertUnwindSafe(|| tane.run_with_token(&r, &token)));
+        assert_eq!(tane.run(&r).fds, baseline, "rerun after ordinal {at}");
+    }
+}
+
+#[test]
+fn approx_under_injected_faults_reports_only_valid_entries() {
+    let r = workload();
+    let epsilon = 0.05;
+    let baseline = approximate_fds(&r, epsilon);
+    let mut rng = Prng::seed_from_u64(0xFA05);
+    for _ in 0..10 {
+        let at = rng.gen_range(ORDINAL_RANGE);
+        let token = Budget::unlimited().start_with_fault(FaultPlan::new(FaultKind::Cancel, at));
+        let outcome = approximate_fds_governed(&r, epsilon, &token);
+        if outcome.is_complete() {
+            assert_eq!(outcome.result, baseline, "ordinal {at}");
+        } else {
+            // Every reported entry must appear in the full answer with
+            // the same g3 error.
+            for afd in &outcome.result {
+                assert!(
+                    baseline
+                        .iter()
+                        .any(|b| b.fd == afd.fd && b.error == afd.error),
+                    "ordinal {at}: invented {:?}",
+                    afd.fd
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_fault_kind_reports_a_first_trip_reason_once() {
+    // Firing at checkpoint 0 stops each stage as early as possible; the
+    // outcome must still be a well-formed (empty-ish) partial.
+    let r = workload();
+    for (kind, resource) in [
+        (FaultKind::Cancel, Resource::InjectedFault),
+        (FaultKind::MemoryExhaust, Resource::Memory),
+    ] {
+        let token = Budget::unlimited().start_with_fault(FaultPlan::new(kind, 0));
+        let outcome = DepMiner::new().mine_with_token(&r, &token);
+        let why = outcome
+            .interrupted
+            .as_ref()
+            .expect("must trip at ordinal 0");
+        assert_eq!(why.resource, resource);
+        assert!(
+            outcome.result.fds.is_empty(),
+            "{kind:?}: {:?}",
+            outcome.result.fds
+        );
+        outcome
+            .result
+            .audit_claimed_fds(&r)
+            .expect("empty claim audits clean");
+        assert!(!outcome.stages.is_empty());
+        assert!(outcome.stages.iter().any(|s| !s.completed));
+    }
+}
