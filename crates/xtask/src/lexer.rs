@@ -1,0 +1,531 @@
+//! A lossless, dependency-free token-level lexer for Rust source.
+//!
+//! The lint engine's view of a source file starts here: every byte of the
+//! input belongs to exactly one [`Token`], so concatenating the token
+//! texts reconstructs the file verbatim (the `lexer_roundtrip` test
+//! enforces this over the whole workspace). Losslessness is what lets the
+//! rules reason about comments, string contents, and code separately
+//! without the corruption the old per-line scrubber suffered on raw
+//! strings and nested block comments.
+//!
+//! Handled precisely:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any `#` depth), byte strings `b"…"`,
+//!   raw byte strings `br#"…"#`, C strings `c"…"` / `cr#"…"#`;
+//! * nested block comments `/* /* */ */`, doc comments (`///`, `//!`,
+//!   `/** */`, `/*! */` — reported as plain comments);
+//! * char literals vs lifetimes (`'a'` vs `'a`), byte chars `b'x'`,
+//!   escaped chars `'\n'`, `'\u{1F600}'`;
+//! * raw identifiers `r#match`;
+//! * numeric literals with type suffixes and exponents (`1_000u64`,
+//!   `1.5e-3`, `0xFFusize`).
+//!
+//! The lexer never fails: malformed input (an unterminated string, a
+//! stray quote) degrades to the longest sensible token and the rest of
+//! the file still lexes. Rules must stay conservative on such files.
+
+/// What a token is. `Whitespace`, `LineComment`, and `BlockComment` are
+/// the trivia kinds; everything else is significant code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines (one maximal run).
+    Whitespace,
+    /// `// …` to end of line (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` with nesting (including `/** */` and `/*! */`).
+    BlockComment,
+    /// Any string literal: cooked, raw, byte, C — prefix and delimiters
+    /// included in the token text.
+    Str,
+    /// A char or byte-char literal (`'a'`, `'\n'`, `b'x'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal (integer or float, with suffix).
+    Num,
+    /// An identifier or keyword (including raw identifiers `r#match`).
+    Ident,
+    /// A single punctuation character (`{`, `&`, `=`, …). Multi-char
+    /// operators appear as adjacent `Punct` tokens.
+    Punct,
+}
+
+/// One token: a kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Internal cursor over the source's chars.
+struct Cursor {
+    /// `(byte_offset, char)` for every char of the source.
+    chars: Vec<(usize, char)>,
+    /// Total byte length of the source.
+    len: usize,
+    /// Current index into `chars`.
+    i: usize,
+    /// Current 1-based line.
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn byte_at(&self, i: usize) -> usize {
+        self.chars.get(i).map_or(self.len, |&(b, _)| b)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a lossless token stream: the concatenation of all
+/// token texts equals `src` exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.char_indices().collect(),
+        len: src.len(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.i;
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        debug_assert!(cur.i > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start: cur.byte_at(start),
+            end: cur.byte_at(cur.i),
+            line,
+        });
+    }
+    out
+}
+
+/// Lexes one token starting at `c`; advances the cursor past it.
+fn lex_one(cur: &mut Cursor, c: char) -> TokenKind {
+    if c.is_whitespace() {
+        while cur.peek(0).is_some_and(|c| c.is_whitespace()) {
+            cur.bump();
+        }
+        return TokenKind::Whitespace;
+    }
+    if c == '/' && cur.peek(1) == Some('/') {
+        while cur.peek(0).is_some_and(|c| c != '\n') {
+            cur.bump();
+        }
+        return TokenKind::LineComment;
+    }
+    if c == '/' && cur.peek(1) == Some('*') {
+        cur.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (cur.peek(0), cur.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    cur.bump_n(2);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    cur.bump_n(2);
+                }
+                (Some(_), _) => cur.bump(),
+                (None, _) => break, // unterminated: token runs to EOF
+            }
+        }
+        return TokenKind::BlockComment;
+    }
+    if c == '"' {
+        cur.bump();
+        consume_cooked_until(cur, '"');
+        return TokenKind::Str;
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    if is_ident_start(c) {
+        return lex_ident_or_prefixed(cur);
+    }
+    cur.bump();
+    TokenKind::Punct
+}
+
+/// Lexes a token starting with `'`: a char literal or a lifetime/label.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    match cur.peek(1) {
+        // `'\n'`, `'\u{…}'`: escaped char literal, scan to the close.
+        Some('\\') => {
+            cur.bump_n(2);
+            consume_cooked_until(cur, '\'');
+            TokenKind::Char
+        }
+        // `'x'` for any single char `x` (including `' '` and `'('`).
+        Some(_) if cur.peek(2) == Some('\'') => {
+            cur.bump_n(3);
+            TokenKind::Char
+        }
+        // `'ident`: a lifetime or loop label.
+        Some(c2) if is_ident_start(c2) => {
+            cur.bump_n(2);
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        // Stray quote (malformed source): degrade to punctuation.
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes a cooked (escape-aware) literal body up to and including the
+/// `close` delimiter. The cursor starts inside the literal.
+fn consume_cooked_until(cur: &mut Cursor, close: char) {
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump_n(2);
+        } else if c == close {
+            cur.bump();
+            return;
+        } else {
+            cur.bump();
+        }
+    }
+    // Unterminated: the literal runs to EOF.
+}
+
+/// Lexes a numeric literal: integer/float, radix prefixes, `_`
+/// separators, type suffixes, and signed exponents.
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    consume_num_run(cur);
+    // Fractional part: a `.` counts only when followed by a digit, so
+    // `128.max(2)` stays `128` `.` `max` and tuple indexing is unaffected.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        consume_num_run(cur);
+    }
+    TokenKind::Num
+}
+
+/// One alphanumeric run of a number, allowing a signed exponent to
+/// continue it (`1e-3`, `2.5E+10`).
+fn consume_num_run(cur: &mut Cursor) {
+    let mut last = '\0';
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            last = c;
+            cur.bump();
+        } else if (c == '+' || c == '-')
+            && matches!(last, 'e' | 'E')
+            && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            last = c;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lexes an identifier, or one of the literal forms an identifier-like
+/// prefix can introduce: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`,
+/// `cr#"…"#`, `b'x'`, and raw identifiers `r#ident`.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokenKind {
+    let word_start = cur.i;
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let word: String = cur.chars[word_start..cur.i]
+        .iter()
+        .map(|&(_, c)| c)
+        .collect();
+    let raw_capable = matches!(word.as_str(), "r" | "br" | "cr");
+    let cooked_capable = matches!(word.as_str(), "b" | "c");
+
+    // `b'x'`: byte char literal.
+    if word == "b" && cur.peek(0) == Some('\'') {
+        // Only when it really is a literal — `b'` followed by a lifetime
+        // (`b 'a`, impossible without space) can't reach here unspaced.
+        cur.bump();
+        if cur.peek(0) == Some('\\') {
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+        consume_cooked_until(cur, '\'');
+        return TokenKind::Char;
+    }
+    // `b"…"` / `c"…"`: cooked string with a prefix.
+    if cooked_capable && cur.peek(0) == Some('"') {
+        cur.bump();
+        consume_cooked_until(cur, '"');
+        return TokenKind::Str;
+    }
+    if raw_capable {
+        // Count `#`s; decide raw string vs raw identifier.
+        let mut hashes = 0usize;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(hashes) == Some('"') {
+            cur.bump_n(hashes + 1);
+            consume_raw_until(cur, hashes);
+            return TokenKind::Str;
+        }
+        if word == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+            // Raw identifier `r#match`.
+            cur.bump(); // `#`
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            return TokenKind::Ident;
+        }
+    }
+    TokenKind::Ident
+}
+
+/// Consumes a raw-string body up to and including `"` followed by
+/// `hashes` `#` characters. The cursor starts just past the opening `"`.
+fn consume_raw_until(cur: &mut Cursor, hashes: usize) {
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+    // Unterminated: the literal runs to EOF.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "lossless reconstruction");
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("let x = 1 + y;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Whitespace, " "),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Whitespace, " "),
+                (TokenKind::Punct, "="),
+                (TokenKind::Whitespace, " "),
+                (TokenKind::Num, "1"),
+                (TokenKind::Whitespace, " "),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Whitespace, " "),
+                (TokenKind::Ident, "y"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+        roundtrip("let x = 1 + y;");
+    }
+
+    #[test]
+    fn raw_strings_with_comment_chars_and_quotes() {
+        let src = r###"let x = r#"no // comment "quoted" here"#;"###;
+        let toks = kinds(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(strs, vec![r###"r#"no // comment "quoted" here"#"###]);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_prefixes() {
+        for src in [
+            "r\"plain\"",
+            "r##\"two \"# deep\"##",
+            "b\"bytes\"",
+            "br#\"raw bytes \" ok\"#",
+            "c\"cstr\"",
+            "cr#\"raw c\"#",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].kind, TokenKind::Str, "{src}");
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner */ still comment */"
+            )
+        );
+        assert_eq!(toks[2], (TokenKind::Ident, "code"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("'a' 'x 'static '\\n' ' ' '(' b'z' '\\u{1F600}'");
+        let significant: Vec<(TokenKind, &str)> = toks
+            .into_iter()
+            .filter(|(k, _)| *k != TokenKind::Whitespace)
+            .collect();
+        assert_eq!(
+            significant,
+            vec![
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Lifetime, "'x"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Char, "' '"),
+                (TokenKind::Char, "'('"),
+                (TokenKind::Char, "b'z'"),
+                (TokenKind::Char, "'\\u{1F600}'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn labeled_loops_lex_as_lifetimes() {
+        let toks = kinds("'outer: while x { break 'outer; }");
+        assert_eq!(toks[0], (TokenKind::Lifetime, "'outer"));
+        roundtrip("'outer: while x { break 'outer; }");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#match r#async normal");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(idents, vec!["r#match", "r#async", "normal"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_methods() {
+        let toks = kinds("128u32 0xFFusize 1_000 1.5e-3 128.max(2) x.0");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["128u32", "0xFFusize", "1_000", "1.5e-3", "128", "2", "0"]
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// outer doc\n//! inner doc\n/** block doc */ fn f() {}");
+        assert_eq!(toks[0], (TokenKind::LineComment, "/// outer doc"));
+        assert_eq!(toks[2], (TokenKind::LineComment, "//! inner doc"));
+        assert_eq!(toks[4], (TokenKind::BlockComment, "/** block doc */"));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let src = "let s = \"line1\nline2 // not a comment\";\nx.f();";
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.line, 1);
+        assert!(s.text(src).contains("line2"));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::LineComment));
+        // Line numbers resume correctly after the multi-line token.
+        let x = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text(src) == "x")
+            .expect("x ident");
+        assert_eq!(x.line, 3);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn unterminated_forms_never_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let src = r#""a \" b" rest"#;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Str, r#""a \" b""#));
+        assert_eq!(toks[2], (TokenKind::Ident, "rest"));
+    }
+}

@@ -24,6 +24,7 @@
 //! it dependency-free and fast, at the price of being a heuristic — the
 //! escape hatch exists for the false positives.
 
+use crate::lexer;
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
@@ -108,92 +109,69 @@ struct ScrubbedLine {
     comment: String,
 }
 
-/// Scrubs a whole file line by line, tracking block comments and
-/// (conservatively) multi-line string literals.
+/// `true` when a string-literal token has a non-empty body (text between
+/// its first and last `"`). `.expect("")` detection needs to tell an
+/// empty literal from a blanked non-empty one.
+fn str_has_content(text: &str) -> bool {
+    match (text.find('"'), text.rfind('"')) {
+        (Some(open), Some(close)) if close > open => close - open > 1,
+        // Unterminated literal: treat whatever follows the quote as body.
+        (Some(open), _) => open + 1 < text.len(),
+        _ => false,
+    }
+}
+
+/// Scrubs a whole file into per-line code/comment views, built on the
+/// exact token stream from [`crate::lexer`]. Raw strings containing `//`
+/// or `"`, nested block comments, and multi-line string literals all
+/// scrub correctly — each token contributes to exactly the lines it
+/// spans, and string/char bodies are blanked to placeholders.
 fn scrub(source: &str) -> Vec<ScrubbedLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    for raw in source.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            if in_block_comment {
-                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    in_block_comment = false;
-                    i += 2;
+    let n_lines = source.lines().count();
+    let mut out: Vec<ScrubbedLine> = (0..n_lines)
+        .map(|_| ScrubbedLine {
+            code: String::new(),
+            comment: String::new(),
+        })
+        .collect();
+    // Appends `text` across consecutive lines starting at 1-based `line`,
+    // into the code or comment field.
+    let spread = |lines: &mut Vec<ScrubbedLine>, line: u32, text: &str, to_comment: bool| {
+        for (j, seg) in text.split('\n').enumerate() {
+            let idx = line as usize - 1 + j;
+            if let Some(slot) = lines.get_mut(idx) {
+                if to_comment {
+                    slot.comment.push_str(seg.trim_end_matches('\r'));
                 } else {
-                    comment.push(bytes[i]);
-                    i += 1;
-                }
-                continue;
-            }
-            match bytes[i] {
-                '/' if bytes.get(i + 1) == Some(&'/') => {
-                    comment.extend(&bytes[i..]);
-                    break;
-                }
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    // Blank the string contents, keep the quotes — and keep
-                    // emptiness: `expect("")` detection needs to tell an
-                    // empty literal from a blanked non-empty one.
-                    code.push('"');
-                    i += 1;
-                    let mut had_content = false;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => {
-                                had_content = true;
-                                i += 2;
-                            }
-                            '"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => {
-                                had_content = true;
-                                i += 1;
-                            }
-                        }
-                    }
-                    if had_content {
-                        code.push('s');
-                    }
-                    code.push('"');
-                }
-                '\'' => {
-                    // Char literal or lifetime. `'a'` / `'\n'` are
-                    // literals; `'a` (lifetime) has no closing quote
-                    // nearby — copy it through unchanged.
-                    let close = if bytes.get(i + 1) == Some(&'\\') {
-                        bytes.get(i + 3) == Some(&'\'')
-                    } else {
-                        bytes.get(i + 2) == Some(&'\'')
-                    };
-                    if close {
-                        code.push_str("' '");
-                        i += if bytes.get(i + 1) == Some(&'\\') {
-                            4
-                        } else {
-                            3
-                        };
-                    } else {
-                        code.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    code.push(c);
-                    i += 1;
+                    slot.code.push_str(seg.trim_end_matches('\r'));
                 }
             }
         }
-        out.push(ScrubbedLine { code, comment });
+    };
+    for tok in lexer::lex(source) {
+        let text = tok.text(source);
+        match tok.kind {
+            lexer::TokenKind::Whitespace => spread(&mut out, tok.line, text, false),
+            lexer::TokenKind::LineComment | lexer::TokenKind::BlockComment => {
+                spread(&mut out, tok.line, text, true)
+            }
+            lexer::TokenKind::Str => {
+                // The whole literal (however many lines, whatever its
+                // delimiters) becomes a one-line placeholder that keeps
+                // only emptiness.
+                let placeholder = if str_has_content(text) {
+                    "\"s\""
+                } else {
+                    "\"\""
+                };
+                spread(&mut out, tok.line, placeholder, false);
+            }
+            lexer::TokenKind::Char => spread(&mut out, tok.line, "' '", false),
+            lexer::TokenKind::Lifetime
+            | lexer::TokenKind::Num
+            | lexer::TokenKind::Ident
+            | lexer::TokenKind::Punct => spread(&mut out, tok.line, text, false),
+        }
     }
     out
 }
@@ -902,6 +880,67 @@ mod tests {
             "fn t() {\n    Some(1).unwrap();\n    let m: HashMap<u32, u32> = HashMap::new();\n    let _ = m;\n}\n",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // --- scrub regression tests -----------------------------------------
+    // The pre-lexer scrubber processed lines independently with ad-hoc
+    // string/comment state and corrupted its view of the code on three
+    // inputs: raw strings containing `//` or `"`, nested block comments,
+    // and multi-line string literals. Each test here failed against that
+    // scrubber (false positive or false negative) and pins the exact
+    // behavior of the token-level replacement.
+
+    #[test]
+    fn scrub_raw_string_with_quote_does_not_leak_contents() {
+        // The odd `"` inside the raw string made the old scrubber close
+        // its pseudo-string early and treat `.unwrap() is banned` as code
+        // — a false `no-panic` positive.
+        let diags = lint(
+            "fn f() -> &'static str {\n    let msg = r#\"don't \" .unwrap() is banned\"#;\n    msg\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn scrub_raw_string_with_line_comment_chars() {
+        // `//` inside a raw string is string content, not a comment; the
+        // marker text after it must not suppress rules on the line below.
+        let diags = lint(
+            "fn f() -> u32 {\n    let _m = r#\"// lint: allow(no-panic)\"#;\n    opt.unwrap()\n}\n",
+        );
+        assert_eq!(rules(&diags), ["no-panic"], "{diags:?}");
+    }
+
+    #[test]
+    fn scrub_nested_block_comments_stay_comments() {
+        // The old scrubber had no nesting depth: the first `*/` ended the
+        // comment and `still comment .unwrap()` became code.
+        let diags = lint(
+            "/* outer /* inner */ still a comment .unwrap() panic! */\nfn f() -> u32 {\n    1\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn scrub_multiline_string_continuation_is_not_code() {
+        // Line 2 of a multi-line string looked like bare code (with a
+        // bogus `//` comment) to the per-line scrubber.
+        let diags = lint(
+            "const S: &str = \"first line\nsecond .unwrap() // not a comment\";\nfn f() -> u32 {\n    1\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn scrub_preserves_empty_vs_nonempty_strings() {
+        // `.expect("")` must still be distinguishable from `.expect("x")`
+        // after blanking — including for raw-string messages.
+        let empty = lint("fn f(x: Option<u32>) -> u32 {\n    x.expect(\"\")\n}\n");
+        assert_eq!(rules(&empty), ["no-panic"]);
+        let msg = lint("fn f(x: Option<u32>) -> u32 {\n    x.expect(\"checked\")\n}\n");
+        assert!(msg.is_empty(), "{msg:?}");
+        let raw = lint("fn f(x: Option<u32>) -> u32 {\n    x.expect(r\"checked\")\n}\n");
+        assert!(raw.is_empty(), "{raw:?}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! exits non-zero if any diagnostic is produced. `--json` switches the
 //! report to a machine-readable JSON array.
 
+mod lexer;
 mod lint;
 
 use lint::Diagnostic;
