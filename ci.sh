@@ -12,8 +12,14 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
-echo "==> xtask check"
-cargo run -p xtask -q -- check
+echo "==> xtask check (report -> target/xtask-report.json)"
+mkdir -p target
+if ! cargo run -p xtask -q -- check --json > target/xtask-report.json; then
+    # Re-run human-readable so the failure is legible in CI logs.
+    cargo run -p xtask -q -- check || true
+    echo "ci.sh: xtask check found non-baselined findings (see above)" >&2
+    exit 1
+fi
 
 echo "==> cargo test -q (DEPMINER_THREADS=1, sequential fallback)"
 DEPMINER_THREADS=1 cargo test -q

@@ -1,34 +1,46 @@
-//! The lint engine: a dependency-free, line/token-level static-analysis
-//! pass over the workspace's own sources.
+//! The lint engine: a dependency-free static-analysis pass over the
+//! workspace's own sources, built on the lossless [`crate::lexer`] and
+//! the [`crate::flow`] block/flow analyzer.
 //!
-//! Seven project-specific rules (see DESIGN.md "Correctness tooling"):
+//! Eleven project-specific rules (see DESIGN.md §7.1):
 //!
-//! | rule               | what it flags                                          |
-//! |--------------------|--------------------------------------------------------|
-//! | `no-panic`         | `.unwrap()`, `.expect("")`, `panic!` in library code   |
-//! | `default-hasher`   | `HashMap`/`HashSet` with the default (SipHash) hasher  |
-//! | `unordered-iter`   | hash-map iteration feeding ordered output, no sort     |
-//! | `attr-count`       | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
-//! | `header-hygiene`   | `lib.rs` missing the `#![warn(missing_docs)]` header   |
-//! | `raw-thread-spawn` | `thread::spawn`/`thread::Builder` outside the parallel runtime |
-//! | `unchecked-loop`   | `while`/`loop` in a lattice module with no budget checkpoint |
+//! | rule                  | level | what it flags                                          |
+//! |-----------------------|-------|--------------------------------------------------------|
+//! | `no-panic`            | line  | `.unwrap()`, `.expect("")`, `panic!` in library code   |
+//! | `default-hasher`      | line  | `HashMap`/`HashSet` with the default (SipHash) hasher  |
+//! | `unordered-iter`      | line  | hash-map iteration feeding ordered output, no sort     |
+//! | `attr-count`          | line  | hardcoded `128` where `AttrSet::MAX_ATTRS` belongs     |
+//! | `header-hygiene`      | line  | `lib.rs` missing the `#![warn(missing_docs)]` header   |
+//! | `raw-thread-spawn`    | line  | `thread::spawn`/`thread::Builder` outside the parallel runtime |
+//! | `unchecked-loop`      | line  | lattice `while`/`loop` with no budget checkpoint at all |
+//! | `par-closure-capture` | flow  | `&mut` upvars / interior mutability / captured-binding mutation in `par_map`-family closures |
+//! | `budget-coverage`     | flow  | lattice loop polling a checkpoint on some paths but not all |
+//! | `safety-comment`      | flow  | `unsafe` without an adjacent `// SAFETY:` justification |
+//! | `partial-contract`    | flow  | `fn … -> MiningOutcome` that never threads a `StageReport` |
 //!
-//! Scope: test code is exempt — files under `tests/`, `benches/`,
-//! `examples/`, `fixtures/`, and in-file `#[cfg(test)]` modules. Any
-//! remaining finding can be suppressed with a `// lint: allow(<rule>)`
-//! comment on the same line or the line above; the suppression should say
-//! why in a neighbouring comment.
+//! Scope is decided by the [`crate::modmap`] module map: test code
+//! (`tests/`, `benches/`, `examples/`, `fixtures/` segments and in-file
+//! `#[cfg(test)]` modules) is exempt from everything except
+//! `header-hygiene`; `raw-thread-spawn` exempts the parallel runtime;
+//! the loop rules apply only to the lattice modules. Any remaining
+//! finding can be suppressed with a `// lint: allow(<rule>)` comment on
+//! the same line or the line above (with a neighbouring comment saying
+//! why), or — for adopting the tool on a tree with known findings — an
+//! entry in the checked-in `xtask-baseline.txt`.
 //!
-//! The pass is deliberately token-level: it scrubs comments and string
-//! literals per line, then matches identifier-bounded tokens. That keeps
-//! it dependency-free and fast, at the price of being a heuristic — the
-//! escape hatch exists for the false positives.
+//! The line rules match identifier-bounded tokens against per-line
+//! code/comment views scrubbed from the exact token stream; the flow
+//! rules reason about the brace tree, closures, and branch coverage.
+//! Both are heuristics by design — the escape hatch answers the false
+//! positives.
 
 use crate::lexer;
+use crate::modmap::{in_zone, Zone};
+use crate::rules;
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 11] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
@@ -36,6 +48,10 @@ pub const RULES: [&str; 7] = [
     "header-hygiene",
     "raw-thread-spawn",
     "unchecked-loop",
+    "par-closure-capture",
+    "budget-coverage",
+    "safety-comment",
+    "partial-contract",
 ];
 
 /// One finding: a rule violated at a file:line location.
@@ -93,20 +109,13 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// `true` for paths whose code is exempt from the code-level rules
-/// (everything except `header-hygiene`).
-fn path_is_test_code(path: &str) -> bool {
-    path.split(['/', '\\'])
-        .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "fixtures"))
-}
-
 /// One line of source after scrubbing, plus what was scrubbed away.
-struct ScrubbedLine {
+pub struct ScrubbedLine {
     /// The line with comments removed and string/char literal contents
     /// blanked (quotes kept), so token matches can't fire inside text.
-    code: String,
+    pub code: String,
     /// The comment text removed from this line, if any.
-    comment: String,
+    pub comment: String,
 }
 
 /// `true` when a string-literal token has a non-empty body (text between
@@ -126,7 +135,7 @@ fn str_has_content(text: &str) -> bool {
 /// or `"`, nested block comments, and multi-line string literals all
 /// scrub correctly — each token contributes to exactly the lines it
 /// spans, and string/char bodies are blanked to placeholders.
-fn scrub(source: &str) -> Vec<ScrubbedLine> {
+pub fn scrub(source: &str) -> Vec<ScrubbedLine> {
     let n_lines = source.lines().count();
     let mut out: Vec<ScrubbedLine> = (0..n_lines)
         .map(|_| ScrubbedLine {
@@ -178,19 +187,19 @@ fn scrub(source: &str) -> Vec<ScrubbedLine> {
 
 /// `true` when `line`'s comment (or the previous line's) carries a
 /// `lint: allow(<rule>)` marker.
-fn allowed(lines: &[ScrubbedLine], idx: usize, rule: &str) -> bool {
+pub fn allowed(lines: &[ScrubbedLine], idx: usize, rule: &str) -> bool {
     let marker = format!("lint: allow({rule})");
-    let here = lines[idx].comment.contains(&marker);
-    let above = idx > 0 && {
-        let prev = &lines[idx - 1];
-        prev.code.trim().is_empty() && prev.comment.contains(&marker)
-    };
+    let here = lines.get(idx).is_some_and(|l| l.comment.contains(&marker));
+    let above = idx > 0
+        && lines
+            .get(idx - 1)
+            .is_some_and(|prev| prev.code.trim().is_empty() && prev.comment.contains(&marker));
     here || above
 }
 
 /// Finds `token` in `code` at identifier boundaries (the characters
 /// around the match are not `[A-Za-z0-9_]`). Returns `true` on a hit.
-fn has_token(code: &str, token: &str) -> bool {
+pub fn has_token(code: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {
         let at = start + pos;
@@ -214,7 +223,7 @@ fn has_token(code: &str, token: &str) -> bool {
 
 /// Marks lines inside `#[cfg(test)]` items (by brace matching from the
 /// item that follows the attribute). Returns one flag per line.
-fn test_mod_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
+pub fn test_mod_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
     let mut in_test = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -249,410 +258,29 @@ fn test_mod_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
     in_test
 }
 
-/// Rule `no-panic`: `.unwrap()`, `.expect("")`, and `panic!` are banned in
-/// library code. `.expect("a real message")` is allowed — the message is
-/// the justification.
-fn check_no_panic(path: &str, lines: &[ScrubbedLine], in_test: &[bool], out: &mut Vec<Diagnostic>) {
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "no-panic") {
-            continue;
-        }
-        let mut hit = |message: &str| {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: "no-panic",
-                message: message.to_string(),
-            })
-        };
-        if line.code.contains(".unwrap()") {
-            hit("`.unwrap()` in library code; return a Result or use `.expect(\"why\")`");
-        }
-        if line.code.contains(".expect(\"\")") {
-            hit("`.expect(\"\")` with an empty message; say why the value must exist");
-        }
-        if has_token(&line.code, "panic!") {
-            hit("`panic!` in library code; return an error instead");
-        }
-    }
-}
-
-/// Rule `default-hasher`: `HashMap`/`HashSet` tokens mean the SipHash
-/// default hasher; library code must use the in-tree `FxHashMap` /
-/// `FxHashSet` (identifier-bounded, so the `Fx` types don't match).
-fn check_default_hasher(
-    path: &str,
-    lines: &[ScrubbedLine],
-    in_test: &[bool],
-    out: &mut Vec<Diagnostic>,
-) {
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "default-hasher") {
-            continue;
-        }
-        for token in ["HashMap", "HashSet"] {
-            if has_token(&line.code, token) {
-                out.push(Diagnostic {
-                    path: path.to_string(),
-                    line: idx + 1,
-                    rule: "default-hasher",
-                    message: format!(
-                        "`{token}` uses the default SipHash hasher; use `Fx{token}` from depminer_relation::fxhash"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Rule `unordered-iter`: a `for` loop over a hash container that pushes
-/// into a result collection, with no `.sort` in sight, yields
-/// nondeterministic output order.
-///
-/// Heuristic: pass 1 collects `let` bindings whose declared type or
-/// initializer names a hash type; pass 2 finds `for … in` loops over
-/// those variables (or over direct `.keys()`/`.values()` calls on them)
-/// whose body contains `.push(`/`.extend(`, and requires a `.sort` within
-/// the loop body or the 12 lines after it.
-fn check_unordered_iter(
-    path: &str,
-    lines: &[ScrubbedLine],
-    in_test: &[bool],
-    out: &mut Vec<Diagnostic>,
-) {
-    // Pass 1: hash-typed variable names.
-    let mut hashy: Vec<String> = Vec::new();
-    for line in lines {
-        let code = line.code.trim_start();
-        let Some(rest) = code
-            .strip_prefix("let mut ")
-            .or_else(|| code.strip_prefix("let "))
-        else {
-            continue;
-        };
-        let is_hash_ty = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"]
-            .iter()
-            .any(|t| has_token(code, t));
-        if !is_hash_ty {
-            continue;
-        }
-        let name: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if !name.is_empty() && !hashy.contains(&name) {
-            hashy.push(name);
-        }
-    }
-    if hashy.is_empty() {
-        return;
-    }
-
-    // Pass 2: loops over those variables.
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "unordered-iter") {
-            continue;
-        }
-        let code = line.code.trim_start();
-        if !code.starts_with("for ") {
-            continue;
-        }
-        let Some(in_pos) = code.find(" in ") else {
-            continue;
-        };
-        let iterated = &code[in_pos + 4..];
-        if !is_hash_iteration(iterated, &hashy) {
-            continue;
-        }
-        // Loop body extent by brace matching.
-        let mut depth = 0usize;
-        let mut opened = false;
-        let mut end = idx;
-        for (j, l) in lines.iter().enumerate().skip(idx) {
-            for c in l.code.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth = depth.saturating_sub(1),
-                    _ => {}
-                }
-            }
-            if opened && depth == 0 {
-                end = j;
-                break;
-            }
-            end = j;
-        }
-        let body = &lines[idx..=end];
-        let pushes = body
-            .iter()
-            .any(|l| l.code.contains(".push(") || l.code.contains(".extend("));
-        if !pushes {
-            continue;
-        }
-        let window_end = (end + 13).min(lines.len());
-        let sorted = lines[idx..window_end]
-            .iter()
-            .any(|l| l.code.contains(".sort"));
-        if !sorted {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: "unordered-iter",
-                message: "hash-container iteration feeds an ordered collection with no `.sort` nearby; output order is nondeterministic".to_string(),
-            });
-        }
-    }
-}
-
-/// `true` when a `for`-loop head iterates a hash container *directly*
-/// (`for x in &map`, `for k in map.keys()`, …). Indexing into a map
-/// (`map[&k].iter()`) iterates the *value*, whose order is the value
-/// type's business, so it does not count.
-fn is_hash_iteration(iterated: &str, hashy: &[String]) -> bool {
-    let mut expr = iterated.trim();
-    for prefix in ["&mut ", "&"] {
-        if let Some(rest) = expr.strip_prefix(prefix) {
-            expr = rest;
-        }
-    }
-    let expr = expr.trim_start_matches('(').trim_end();
-    let expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
-    for name in hashy {
-        let Some(rest) = expr.strip_prefix(name.as_str()) else {
-            continue;
-        };
-        if rest.is_empty() {
-            return true;
-        }
-        const ITERS: [&str; 7] = [
-            ".iter()",
-            ".iter_mut()",
-            ".keys()",
-            ".values()",
-            ".values_mut()",
-            ".drain()",
-            ".into_iter()",
-        ];
-        if ITERS.contains(&rest) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Rule `attr-count`: a hardcoded `128` on a line talking about
-/// attributes or arity should be `AttrSet::MAX_ATTRS`.
-fn check_attr_count(
-    path: &str,
-    lines: &[ScrubbedLine],
-    in_test: &[bool],
-    out: &mut Vec<Diagnostic>,
-) {
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "attr-count") {
-            continue;
-        }
-        let code = &line.code;
-        if !has_token(code, "128") || code.contains("MAX_ATTRS") {
-            continue;
-        }
-        let lower = code.to_ascii_lowercase();
-        if lower.contains("attr") || lower.contains("arity") {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: "attr-count",
-                message: "hardcoded attribute-count literal 128; use `AttrSet::MAX_ATTRS`"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// `true` for files belonging to the in-tree parallel runtime, the one
-/// place allowed to create OS threads.
-fn path_in_parallel_runtime(path: &str) -> bool {
-    let norm = path.replace('\\', "/");
-    norm.starts_with("crates/parallel/") || norm.contains("/crates/parallel/")
-}
-
-/// Rule `raw-thread-spawn`: raw thread creation (`thread::spawn`,
-/// `thread::Builder`) is confined to `crates/parallel`. Everywhere else
-/// must go through the work-stealing pool's scoped API, so thread counts
-/// honor the `Parallelism` knob and the `DEPMINER_THREADS` override, and
-/// panics propagate instead of killing detached threads.
-fn check_raw_thread_spawn(
-    path: &str,
-    lines: &[ScrubbedLine],
-    in_test: &[bool],
-    out: &mut Vec<Diagnostic>,
-) {
-    if path_in_parallel_runtime(path) {
-        return;
-    }
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "raw-thread-spawn") {
-            continue;
-        }
-        for token in ["thread::spawn", "thread::Builder"] {
-            if has_token(&line.code, token) {
-                out.push(Diagnostic {
-                    path: path.to_string(),
-                    line: idx + 1,
-                    rule: "raw-thread-spawn",
-                    message: format!(
-                        "`{token}` outside crates/parallel; use the depminer-parallel pool (scope/par_map) so `DEPMINER_THREADS` and panic propagation apply"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// `true` for the lattice-walk modules whose loops can run unbounded on
-/// adversarial input and therefore must poll the governance token.
-fn path_in_lattice_modules(path: &str) -> bool {
-    let norm = path.replace('\\', "/");
-    [
-        "crates/hypergraph/src/levelwise.rs",
-        "crates/tane/src/exact.rs",
-        "crates/tane/src/approx.rs",
-    ]
-    .iter()
-    .any(|m| norm.ends_with(m))
-}
-
-/// Tokens that count as a budget checkpoint inside a loop body: any
-/// `CancelToken` method that can observe a trip.
-const CHECKPOINT_TOKENS: [&str; 6] = [
-    "check",
-    "enter_level",
-    "add_couples",
-    "add_candidates",
-    "reserve_memory",
-    "is_cancelled",
-];
-
-/// Rule `unchecked-loop`: a `while`/`loop` in the levelwise/lattice
-/// modules ([`path_in_lattice_modules`]) whose body never polls a
-/// [`CHECKPOINT_TOKENS`] method can run unbounded past any budget. A loop
-/// that is genuinely bounded (or an ungoverned test oracle) carries a
-/// `// lint: allow(unchecked-loop)` marker saying so.
-fn check_unchecked_loop(
-    path: &str,
-    lines: &[ScrubbedLine],
-    in_test: &[bool],
-    out: &mut Vec<Diagnostic>,
-) {
-    if !path_in_lattice_modules(path) {
-        return;
-    }
-    for (idx, line) in lines.iter().enumerate() {
-        if in_test[idx] || allowed(lines, idx, "unchecked-loop") {
-            continue;
-        }
-        let mut head = line.code.trim_start();
-        // Strip a loop label (`'levels: while …`).
-        if head.starts_with('\'') {
-            match head.split_once(':') {
-                Some((_, rest)) => head = rest.trim_start(),
-                None => continue,
-            }
-        }
-        let is_loop_head = head.starts_with("while ")
-            || head.starts_with("while(")
-            || head == "loop"
-            || head.starts_with("loop ")
-            || head.starts_with("loop{");
-        if !is_loop_head {
-            continue;
-        }
-        // Loop body extent by brace matching from the head line.
-        let mut depth = 0usize;
-        let mut opened = false;
-        let mut end = idx;
-        for (j, l) in lines.iter().enumerate().skip(idx) {
-            for c in l.code.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth = depth.saturating_sub(1),
-                    _ => {}
-                }
-            }
-            if opened && depth == 0 {
-                end = j;
-                break;
-            }
-            end = j;
-        }
-        let checkpointed = lines[idx..=end]
-            .iter()
-            .any(|l| CHECKPOINT_TOKENS.iter().any(|t| has_token(&l.code, t)));
-        if !checkpointed {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: "unchecked-loop",
-                message: "`while`/`loop` in a lattice module with no budget checkpoint; poll a `CancelToken` method (check/enter_level/add_candidates/…) in the body".to_string(),
-            });
-        }
-    }
-}
-
-/// Rule `header-hygiene`: every `lib.rs` must carry
-/// `#![warn(missing_docs)]` (or the stricter `#![deny(warnings)]`) near
-/// the top, so undocumented public items fail `cargo test` under the
-/// workspace's warning policy.
-fn check_header_hygiene(path: &str, lines: &[ScrubbedLine], out: &mut Vec<Diagnostic>) {
-    let file = path.rsplit(['/', '\\']).next().unwrap_or(path);
-    if file != "lib.rs" {
-        return;
-    }
-    // Scan the header: doc comments, inner attributes, and blank lines.
-    // The marker must appear before the first real item.
-    let mut ok = false;
-    for l in lines {
-        let code = l.code.trim();
-        if code.contains("#![warn(missing_docs)]") || code.contains("#![deny(warnings)]") {
-            ok = true;
-            break;
-        }
-        if !code.is_empty() && !code.starts_with("#!") {
-            break;
-        }
-    }
-    if !ok {
-        out.push(Diagnostic {
-            path: path.to_string(),
-            line: 1,
-            rule: "header-hygiene",
-            message:
-                "lib.rs must declare `#![warn(missing_docs)]` in its header, before the first item"
-                    .to_string(),
-        });
-    }
-}
-
 /// Lints one file. `path` decides scope (test paths only get
 /// `header-hygiene`); `source` is the file contents.
 pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     let lines = scrub(source);
     let mut out = Vec::new();
-    check_header_hygiene(path, &lines, &mut out);
-    if !path_is_test_code(path) {
+    rules::lines::check_header_hygiene(path, &lines, &mut out);
+    if !in_zone(path, Zone::TestCode) {
         let in_test = test_mod_lines(&lines);
-        check_no_panic(path, &lines, &in_test, &mut out);
-        check_default_hasher(path, &lines, &in_test, &mut out);
-        check_unordered_iter(path, &lines, &in_test, &mut out);
-        check_attr_count(path, &lines, &in_test, &mut out);
-        check_raw_thread_spawn(path, &lines, &in_test, &mut out);
-        check_unchecked_loop(path, &lines, &in_test, &mut out);
+        rules::lines::check_no_panic(path, &lines, &in_test, &mut out);
+        rules::lines::check_default_hasher(path, &lines, &in_test, &mut out);
+        rules::lines::check_unordered_iter(path, &lines, &in_test, &mut out);
+        rules::lines::check_attr_count(path, &lines, &in_test, &mut out);
+        rules::lines::check_raw_thread_spawn(path, &lines, &in_test, &mut out);
+        rules::lines::check_unchecked_loop(path, &lines, &in_test, &mut out);
+
+        let sig = crate::flow::significant(source);
+        let tree = crate::flow::parse(&sig);
+        rules::concurrency::check_par_closure_capture(
+            path, &sig, &tree, &lines, &in_test, &mut out,
+        );
+        rules::concurrency::check_safety_comment(path, &lines, &in_test, &mut out);
+        rules::governance::check_budget_coverage(path, &sig, &tree, &lines, &in_test, &mut out);
+        rules::governance::check_partial_contract(path, &sig, &tree, &lines, &in_test, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -941,6 +569,57 @@ mod tests {
         assert!(msg.is_empty(), "{msg:?}");
         let raw = lint("fn f(x: Option<u32>) -> u32 {\n    x.expect(r\"checked\")\n}\n");
         assert!(raw.is_empty(), "{raw:?}");
+    }
+
+    // --- flow-rule driver tests ------------------------------------------
+
+    #[test]
+    fn par_closure_capture_flags_mutating_closures() {
+        let diags = lint(
+            "fn f(items: &[u32]) -> u32 {\n    let mut total = 0u32;\n    par_map(items, |x| {\n        total += x;\n        total\n    });\n    total\n}\n",
+        );
+        assert_eq!(rules(&diags), ["par-closure-capture"], "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert!(diags[0].message.contains("total"));
+    }
+
+    #[test]
+    fn par_closure_capture_accepts_local_accumulators() {
+        let diags = lint(
+            "fn f(items: &[u32]) -> Vec<u32> {\n    par_map(items, |x| {\n        let mut local = 0u32;\n        local += x;\n        local\n    })\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn budget_coverage_flags_branch_only_polls() {
+        let diags = lint_lattice(
+            "fn walk(token: &CancelToken, mut level: Vec<u32>, par: bool) {\n    while !level.is_empty() {\n        if par {\n            token.check(stage);\n        }\n        level.pop();\n    }\n}\n",
+        );
+        assert_eq!(rules(&diags), ["budget-coverage"], "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn safety_comment_required_for_unsafe() {
+        let diags = lint("fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n");
+        assert_eq!(rules(&diags), ["safety-comment"], "{diags:?}");
+        let ok = lint(
+            "fn f(p: *const u32) -> u32 {\n    // SAFETY: p is valid for reads by the caller's contract.\n    unsafe { *p }\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn partial_contract_requires_stage_report() {
+        let diags = lint(
+            "fn mine(r: &Relation) -> MiningOutcome<Vec<u32>> {\n    MiningOutcome::complete(enumerate(r))\n}\n",
+        );
+        assert_eq!(rules(&diags), ["partial-contract"], "{diags:?}");
+        let ok = lint(
+            "fn mine(r: &Relation) -> MiningOutcome<Vec<u32>> {\n    let stages = StageReport::default();\n    MiningOutcome { result: enumerate(r), why: None, stages }\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

@@ -3,27 +3,35 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p xtask -- check [--json] [PATH...]
+//! cargo run -p xtask -- check [--json] [--diff BASE] [--baseline FILE] [PATH...]
 //! ```
 //!
-//! `check` runs the in-tree static-analysis pass (see [`lint`]) over the
-//! workspace sources — or over the given files/directories only — and
-//! exits non-zero if any diagnostic is produced. `--json` switches the
-//! report to a machine-readable JSON array.
+//! `check` runs the in-tree static-analysis pass (see `xtask::lint`)
+//! over the workspace sources and exits non-zero if any diagnostic
+//! survives the baseline. Modes:
+//!
+//! * `--json` — machine-readable JSON array (shape is stable:
+//!   `{"path":…,"line":…,"rule":…,"message":…}` per finding).
+//! * `--diff BASE` — lint only the `.rs` files changed since the git
+//!   revision `BASE` (`git diff --name-only BASE`), for fast local runs.
+//! * `--baseline FILE` — suppression list of known findings, one
+//!   `<rule> <path>` pair per line (`#` comments allowed). Defaults to
+//!   `xtask-baseline.txt` at the workspace root when present. Suppressed
+//!   findings are reported as a count, never as failures.
+//! * `PATH...` — restrict the scan to the given files/directories.
 
-mod lexer;
-mod lint;
-
-use lint::Diagnostic;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::lint::{self, Diagnostic};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("check") => {}
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: cargo run -p xtask -- check [--json] [PATH...]");
+            eprintln!(
+                "usage: cargo run -p xtask -- check [--json] [--diff BASE] [--baseline FILE] [PATH...]"
+            );
             eprintln!("rules: {}", lint::RULES.join(", "));
             return if args.next().is_none() && std::env::args().len() == 1 {
                 ExitCode::from(2)
@@ -37,10 +45,27 @@ fn main() -> ExitCode {
         }
     }
     let mut json = false;
+    let mut diff_base: Option<String> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
-    for arg in args {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--diff" => match args.next() {
+                Some(base) => diff_base = Some(base),
+                None => {
+                    eprintln!("xtask: --diff requires a git revision argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("xtask: --baseline requires a file argument");
+                    return ExitCode::from(2);
+                }
+            },
             other if other.starts_with('-') => {
                 eprintln!("xtask: unknown flag `{other}`");
                 return ExitCode::from(2);
@@ -50,9 +75,38 @@ fn main() -> ExitCode {
     }
 
     let root = workspace_root();
-    if paths.is_empty() {
+
+    // `--diff BASE`: changed files override the path arguments.
+    if let Some(base) = &diff_base {
+        match changed_files(&root, base) {
+            Ok(changed) => {
+                paths = changed;
+                if paths.is_empty() {
+                    if json {
+                        println!("[]");
+                    } else {
+                        println!("xtask check: no .rs files changed since {base}");
+                    }
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(msg) => {
+                eprintln!("xtask: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if paths.is_empty() {
         paths.push(root.clone());
     }
+
+    // Baseline: explicit file, or the checked-in default when present.
+    let baseline = match load_baseline(&root, baseline_path.as_deref()) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut files: Vec<PathBuf> = Vec::new();
     for p in &paths {
@@ -62,6 +116,7 @@ fn main() -> ExitCode {
     files.dedup();
 
     let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
     let mut read_errors = 0usize;
     for file in &files {
         let rel = file
@@ -70,7 +125,15 @@ fn main() -> ExitCode {
             .to_string_lossy()
             .replace('\\', "/");
         match std::fs::read_to_string(file) {
-            Ok(source) => diags.extend(lint::lint_file(&rel, &source)),
+            Ok(source) => {
+                for d in lint::lint_file(&rel, &source) {
+                    if baseline.iter().any(|(r, p)| *r == d.rule && *p == d.path) {
+                        suppressed += 1;
+                    } else {
+                        diags.push(d);
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("xtask: cannot read {rel}: {e}");
                 read_errors += 1;
@@ -85,11 +148,16 @@ fn main() -> ExitCode {
         for d in &diags {
             println!("{d}");
         }
+        let base = if suppressed > 0 {
+            format!(" ({suppressed} baselined)")
+        } else {
+            String::new()
+        };
         if diags.is_empty() {
-            println!("xtask check: {} files, clean", files.len());
+            println!("xtask check: {} files, clean{base}", files.len());
         } else {
             println!(
-                "xtask check: {} files, {} diagnostic(s)",
+                "xtask check: {} files, {} diagnostic(s){base}",
                 files.len(),
                 diags.len()
             );
@@ -100,6 +168,67 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `.rs` files changed since `base`, per `git diff --name-only`
+/// (repo-relative names joined back onto the workspace root; deleted
+/// files are skipped).
+fn changed_files(root: &Path, base: &str) -> Result<Vec<PathBuf>, String> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", base])
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !output.status.success() {
+        let err = String::from_utf8_lossy(&output.stderr);
+        return Err(format!(
+            "git diff --name-only {base} failed: {}",
+            err.trim()
+        ));
+    }
+    let names = String::from_utf8_lossy(&output.stdout);
+    Ok(names
+        .lines()
+        .filter(|n| n.ends_with(".rs"))
+        .map(|n| root.join(n))
+        .filter(|p| p.is_file())
+        .collect())
+}
+
+/// Parses the baseline suppression file: `<rule> <path>` per line, `#`
+/// starts a comment. An explicitly-passed file must exist; the default
+/// `xtask-baseline.txt` is optional.
+fn load_baseline(root: &Path, explicit: Option<&Path>) -> Result<Vec<(String, String)>, String> {
+    let (path, required) = match explicit {
+        Some(p) => (p.to_path_buf(), true),
+        None => (root.join("xtask-baseline.txt"), false),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if required => return Err(format!("cannot read baseline {}: {e}", path.display())),
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut out = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(char::is_whitespace) {
+            Some((rule, path)) if lint::RULES.contains(&rule.trim()) => {
+                out.push((rule.trim().to_string(), path.trim().to_string()));
+            }
+            _ => {
+                return Err(format!(
+                    "baseline {}:{}: expected `<rule> <path>`, got `{line}`",
+                    path.display(),
+                    n + 1
+                ))
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// The workspace root: walk up from the manifest dir (or cwd) to the

@@ -1,0 +1,456 @@
+//! Flow-level concurrency rules: `par-closure-capture` (a static race
+//! guard over the work-stealing pool's closures, backing DESIGN.md
+//! §8.2's soundness argument) and `safety-comment` (every `unsafe`
+//! needs an adjacent `// SAFETY:` justification).
+
+use crate::flow::{self, Group, Node, SigTok};
+use crate::lexer::TokenKind;
+use crate::lint::{allowed, has_token, Diagnostic, ScrubbedLine};
+
+/// The pool entry points whose closures run concurrently on worker
+/// threads. A closure passed to any of these must not mutate captured
+/// state.
+const PAR_FNS: [&str; 6] = [
+    "par_map",
+    "par_map_indexed",
+    "par_chunks",
+    "par_map_governed",
+    "par_map_indexed_governed",
+    "par_chunks_governed",
+];
+
+/// Interior-mutability types (and the method that unlocks them) that are
+/// not `Sync`-safe to share across pool workers.
+const INTERIOR_MUT: [&str; 4] = ["RefCell", "Cell", "UnsafeCell", "borrow_mut"];
+
+/// Rule `par-closure-capture`: inside a closure passed to a
+/// [`PAR_FNS`] call, flags (a) `&mut` borrows of captured bindings,
+/// (b) interior-mutability types, and (c) assignments to captured
+/// bindings. Bindings local to the closure (parameters, `let`s, `for`
+/// patterns) are fine — worker-local accumulation is the supported
+/// pattern.
+pub fn check_par_closure_capture(
+    path: &str,
+    sig: &[SigTok<'_>],
+    tree: &[Node],
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut hits: Vec<(u32, String)> = Vec::new();
+    scan_for_par_calls(tree, sig, &mut hits);
+    for (line, message) in hits {
+        let idx = line as usize - 1;
+        if idx >= lines.len()
+            || in_test.get(idx).copied().unwrap_or(false)
+            || allowed(lines, idx, "par-closure-capture")
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: line as usize,
+            rule: "par-closure-capture",
+            message,
+        });
+    }
+}
+
+/// Recursively finds `PAR_FNS` call sites and inspects their closure
+/// arguments.
+fn scan_for_par_calls(nodes: &[Node], sig: &[SigTok<'_>], hits: &mut Vec<(u32, String)>) {
+    for (i, n) in nodes.iter().enumerate() {
+        match n {
+            Node::Tok(t) => {
+                let tok = &sig[*t];
+                if tok.kind == TokenKind::Ident && PAR_FNS.contains(&tok.text) {
+                    if let Some(Node::Group(args)) = nodes.get(i + 1) {
+                        if args.open == '(' {
+                            inspect_call_args(args, sig, hits);
+                        }
+                    }
+                }
+            }
+            Node::Group(g) => scan_for_par_calls(&g.children, sig, hits),
+        }
+    }
+}
+
+/// Walks one call's argument list, analyzing each closure found at the
+/// top level of the arguments.
+fn inspect_call_args(args: &Group, sig: &[SigTok<'_>], hits: &mut Vec<(u32, String)>) {
+    let nodes = &args.children;
+    let mut i = 0;
+    while i < nodes.len() {
+        if !flow::closure_starts_at(nodes, i, sig) {
+            // Nested calls inside the arguments may themselves be
+            // par calls; the outer scan already recurses into groups.
+            i += 1;
+            continue;
+        }
+        if matches!(flow::tok_text(&nodes[i], sig), Some("move")) {
+            i += 1;
+        }
+        // Parameter list.
+        let params_start = i + 1;
+        let mut j = params_start;
+        while j < nodes.len() && !matches!(flow::tok_text(&nodes[j], sig), Some("|")) {
+            j += 1;
+        }
+        let params = &nodes[params_start..j.min(nodes.len())];
+        let body_start = (j + 1).min(nodes.len());
+        // Body: a brace group, or expression nodes to the top-level `,`.
+        let mut k = body_start;
+        let body: &[Node] = match nodes.get(body_start) {
+            Some(Node::Group(g)) if g.open == '{' => {
+                k = body_start + 1;
+                &g.children
+            }
+            _ => {
+                while k < nodes.len() && !matches!(flow::tok_text(&nodes[k], sig), Some(",")) {
+                    k += 1;
+                }
+                &nodes[body_start..k]
+            }
+        };
+        analyze_closure(params, body, sig, hits);
+        i = k.max(body_start + 1);
+    }
+}
+
+/// Checks one closure: collects its local bindings, then flags captures
+/// that are mutated, `&mut`-borrowed, or interior-mutable.
+fn analyze_closure(
+    params: &[Node],
+    body: &[Node],
+    sig: &[SigTok<'_>],
+    hits: &mut Vec<(u32, String)>,
+) {
+    let mut locals: Vec<&str> = Vec::new();
+    collect_param_idents(params, sig, &mut locals);
+    collect_locals(body, sig, &mut locals);
+    find_violations(body, sig, &locals, hits);
+}
+
+/// Every identifier in a parameter/pattern position is a closure local
+/// (type names sneak in too, which is harmless).
+fn collect_param_idents<'a>(nodes: &[Node], sig: &[SigTok<'a>], out: &mut Vec<&'a str>) {
+    for n in nodes {
+        match n {
+            Node::Tok(t) if sig[*t].kind == TokenKind::Ident => {
+                if !matches!(sig[*t].text, "mut" | "ref") {
+                    out.push(sig[*t].text);
+                }
+            }
+            Node::Tok(_) => {}
+            Node::Group(g) => collect_param_idents(&g.children, sig, out),
+        }
+    }
+}
+
+/// Collects `let`, `for`, and nested-closure bindings anywhere in the
+/// body (a flat approximation of scoping: order and shadowing are
+/// ignored, which can only make the rule more permissive).
+fn collect_locals<'a>(nodes: &[Node], sig: &[SigTok<'a>], out: &mut Vec<&'a str>) {
+    let mut i = 0;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Tok(t) => {
+                match sig[*t].text {
+                    // `let PAT (: TY)? = …` / `if let PAT = …`: idents up
+                    // to the `=` (or `;`) are bindings (type names are
+                    // harmless extras).
+                    "let" => {
+                        let mut j = i + 1;
+                        while j < nodes.len() {
+                            match &nodes[j] {
+                                Node::Tok(t2) if matches!(sig[*t2].text, "=" | ";") => break,
+                                Node::Tok(t2) if sig[*t2].kind == TokenKind::Ident => {
+                                    if !matches!(sig[*t2].text, "mut" | "ref") {
+                                        out.push(sig[*t2].text);
+                                    }
+                                    j += 1;
+                                }
+                                Node::Tok(_) => j += 1,
+                                Node::Group(g) => {
+                                    collect_param_idents(&g.children, sig, out);
+                                    j += 1;
+                                }
+                            }
+                        }
+                        i = j;
+                    }
+                    // `for PAT in …`: idents up to the `in`.
+                    "for" => {
+                        let mut j = i + 1;
+                        while j < nodes.len() {
+                            match &nodes[j] {
+                                Node::Tok(t2) if sig[*t2].text == "in" => break,
+                                Node::Tok(t2) if sig[*t2].kind == TokenKind::Ident => {
+                                    if !matches!(sig[*t2].text, "mut" | "ref") {
+                                        out.push(sig[*t2].text);
+                                    }
+                                    j += 1;
+                                }
+                                Node::Tok(_) => j += 1,
+                                Node::Group(g) => {
+                                    collect_param_idents(&g.children, sig, out);
+                                    j += 1;
+                                }
+                            }
+                        }
+                        i = j;
+                    }
+                    _ => {
+                        // Nested closure: its parameters are locals too.
+                        if flow::closure_starts_at(nodes, i, sig) {
+                            let mut j = i + 1;
+                            while j < nodes.len()
+                                && !matches!(flow::tok_text(&nodes[j], sig), Some("|"))
+                            {
+                                if let Node::Tok(t2) = &nodes[j] {
+                                    if sig[*t2].kind == TokenKind::Ident
+                                        && !matches!(sig[*t2].text, "mut" | "ref")
+                                    {
+                                        out.push(sig[*t2].text);
+                                    }
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            Node::Group(g) => {
+                collect_locals(&g.children, sig, out);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Rust keywords that can never be assignment receivers.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Scans a closure body for the three violation shapes.
+fn find_violations(
+    nodes: &[Node],
+    sig: &[SigTok<'_>],
+    locals: &[&str],
+    hits: &mut Vec<(u32, String)>,
+) {
+    let mut i = 0;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Tok(t) => {
+                let tok = &sig[*t];
+                // (b) interior mutability anywhere in the closure.
+                if tok.kind == TokenKind::Ident && INTERIOR_MUT.contains(&tok.text) {
+                    hits.push((
+                        tok.line,
+                        format!(
+                            "`{}` inside a parallel closure; interior mutability is not race-safe across pool workers — accumulate into a closure-local value instead",
+                            tok.text
+                        ),
+                    ));
+                    i += 1;
+                    continue;
+                }
+                // (a) `&mut upvar`.
+                if tok.text == "&" && matches!(flow::tok_text_at(nodes, i + 1, sig), Some("mut")) {
+                    if let Some(name) = flow::tok_text_at(nodes, i + 2, sig) {
+                        let kind_ok = matches!(nodes.get(i + 2), Some(Node::Tok(t2)) if sig[*t2].kind == TokenKind::Ident);
+                        if kind_ok && !is_keyword(name) && !locals.contains(&name) {
+                            hits.push((
+                                tok.line,
+                                format!(
+                                    "`&mut {name}` borrows a captured binding inside a parallel closure; pool workers would race on it"
+                                ),
+                            ));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                // (c) assignment to a captured binding: `name = …`,
+                // `name += …`, `name.field = …`, `name[i] = …`, `*name = …`.
+                if tok.kind == TokenKind::Ident && !is_keyword(tok.text) {
+                    let prev = i
+                        .checked_sub(1)
+                        .and_then(|p| flow::tok_text(&nodes[p], sig));
+                    let is_decl = matches!(prev, Some("let" | "mut" | "ref" | "." | "::" | ":"));
+                    if !is_decl {
+                        if let Some(line) = assignment_after(nodes, i + 1, sig) {
+                            if !locals.contains(&tok.text) {
+                                hits.push((
+                                    line,
+                                    format!(
+                                        "assignment to captured binding `{}` inside a parallel closure; pool workers would race on it",
+                                        tok.text
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Node::Group(g) => {
+                find_violations(&g.children, sig, locals, hits);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// After a receiver identifier at `start - 1`, skips field/index
+/// accesses (`.f`, `[…]`) and reports the line of a following
+/// assignment operator, if any. Comparison (`==`, `<=`, `>=`), match
+/// arrows (`=>`), and shift-compares are excluded.
+fn assignment_after(nodes: &[Node], start: usize, sig: &[SigTok<'_>]) -> Option<u32> {
+    let mut j = start;
+    // Field / index chain.
+    loop {
+        match (nodes.get(j), nodes.get(j + 1)) {
+            (Some(a), Some(b))
+                if matches!(flow::tok_text(a, sig), Some("."))
+                    && matches!(b, Node::Tok(t) if matches!(sig[*t].kind, TokenKind::Ident | TokenKind::Num)) =>
+            {
+                j += 2;
+            }
+            (Some(Node::Group(g)), _) if g.open == '[' => j += 1,
+            _ => break,
+        }
+    }
+    let text = |k: usize| flow::tok_text_at(nodes, k, sig);
+    match text(j) {
+        // Plain `=`: not `==`, not `=>`.
+        Some("=") if !matches!(text(j + 1), Some("=" | ">")) => {
+            Some(flow::node_line_at(nodes, j, sig))
+        }
+        // Compound `op=`: `+= -= *= /= %= &= |= ^=`.
+        Some(op @ ("+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"))
+            if matches!(text(j + 1), Some("=")) && !matches!(text(j + 2), Some("=")) =>
+        {
+            // `&&`/`||` short-circuit chains (`a && b = …` is not valid
+            // Rust anyway); `a & = ` can only be compound-assign.
+            let _ = op;
+            Some(flow::node_line_at(nodes, j, sig))
+        }
+        // Shifts: `<<=` / `>>=` (single `<=`/`>=` are comparisons).
+        Some(op @ ("<" | ">"))
+            if text(j + 1) == Some(op)
+                && matches!(text(j + 2), Some("="))
+                && !matches!(text(j + 3), Some("=")) =>
+        {
+            Some(flow::node_line_at(nodes, j, sig))
+        }
+        _ => None,
+    }
+}
+
+/// Rule `safety-comment`: every `unsafe` block, `unsafe fn`, and
+/// `unsafe impl` in library code needs a `// SAFETY:` justification — a
+/// trailing comment on the same line, or a contiguous comment block
+/// immediately above the statement the `unsafe` belongs to.
+pub fn check_safety_comment(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "safety-comment") {
+            continue;
+        }
+        if !has_token(&line.code, "unsafe") {
+            continue;
+        }
+        if justified(lines, idx) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: idx + 1,
+            rule: "safety-comment",
+            message: "`unsafe` without an adjacent `// SAFETY:` comment justifying why the invariants hold".to_string(),
+        });
+    }
+}
+
+/// `true` when the `unsafe` on line `idx` carries a SAFETY comment: on
+/// the line itself, or in the contiguous comment block above the start
+/// of the enclosing statement (continuation lines — those whose
+/// *predecessor* does not end a statement — are walked through).
+fn justified(lines: &[ScrubbedLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY") {
+        return true;
+    }
+    // Find the statement start: walk up while the previous line is code
+    // that flows into this one (no terminator) or an attribute.
+    let mut s = idx;
+    while s > 0 {
+        let prev = lines[s - 1].code.trim_end();
+        let prev_trimmed = prev.trim_start();
+        let continues = !prev.is_empty()
+            && !prev.ends_with(';')
+            && !prev.ends_with('{')
+            && !prev.ends_with('}')
+            && !prev_trimmed.is_empty();
+        let is_attr = prev_trimmed.starts_with("#[") || prev_trimmed.starts_with("#![");
+        if continues || is_attr {
+            s -= 1;
+        } else {
+            break;
+        }
+    }
+    // Contiguous comment-only lines above the statement.
+    let mut k = s;
+    while k > 0 {
+        let prev = &lines[k - 1];
+        if prev.code.trim().is_empty() && !prev.comment.is_empty() {
+            if prev.comment.contains("SAFETY") {
+                return true;
+            }
+            k -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}

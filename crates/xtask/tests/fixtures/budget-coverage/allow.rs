@@ -1,0 +1,12 @@
+// Golden fixture: the escape hatch, for a loop whose bound is proved
+// elsewhere (e.g. a test-only oracle over a tiny fixed arity).
+
+fn bounded_by_arity(token: &CancelToken, mut level: Vec<u32>, par: bool) {
+    // arity <= 8 in every caller; lint: allow(budget-coverage)
+    while !level.is_empty() {
+        if par {
+            token.check(stage);
+        }
+        level.pop();
+    }
+}

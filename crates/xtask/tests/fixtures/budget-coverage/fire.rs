@@ -1,0 +1,30 @@
+// Golden fixture: loops `budget-coverage` must flag. Linted under a
+// lattice-module path by tests/golden.rs.
+
+fn branch_only_poll(token: &CancelToken, mut level: Vec<u32>, par: bool) {
+    while !level.is_empty() {
+        if par {
+            token.check(stage);
+        }
+        level.pop();
+    }
+}
+
+fn uncovered_match_arm(token: &CancelToken, mut level: Vec<u32>) {
+    loop {
+        match level.pop() {
+            Some(x) => {
+                token.add_candidates(x as u64, stage);
+            }
+            None => break,
+        }
+    }
+}
+
+fn levelwise_for_without_poll(level: &[u32]) -> u32 {
+    let mut total = 0;
+    for &x in level {
+        total += x;
+    }
+    total
+}

@@ -1,0 +1,44 @@
+// Golden fixture: checkpoint placements `budget-coverage` must accept.
+
+fn poll_at_top_of_body(token: &CancelToken, mut level: Vec<u32>) {
+    while !level.is_empty() {
+        token.enter_level(level.len(), stage);
+        level.pop();
+    }
+}
+
+fn poll_in_every_branch(token: &CancelToken, mut level: Vec<u32>, par: bool) {
+    while !level.is_empty() {
+        if par {
+            token.check(stage);
+        } else {
+            token.add_candidates(level.len() as u64, stage);
+        }
+        level.pop();
+    }
+}
+
+fn governed_helper_covers(token: &CancelToken, level: &[u32], par: Par) {
+    while !level.is_empty() {
+        let flags = par_map_governed(par, token, stage, level, |&x| Ok(x > 0));
+        consume(flags);
+    }
+}
+
+fn inner_for_is_owned_by_outer_loop(token: &CancelToken, mut level: Vec<u32>) {
+    while !level.is_empty() {
+        token.check(stage);
+        for &x in &level {
+            touch(x);
+        }
+        level.pop();
+    }
+}
+
+fn non_levelwise_for_is_exempt(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for &x in rows {
+        total += x;
+    }
+    total
+}

@@ -1,0 +1,12 @@
+// Golden fixture: the escape hatch. The mutation is deliberate (a
+// single-threaded test shim), so the marker suppresses the finding.
+
+fn deliberate_capture(items: &[u32]) -> u32 {
+    let mut total = 0u32;
+    par_map(items, |x| {
+        // sequential-mode shim, pool size forced to 1; lint: allow(par-closure-capture)
+        total += x;
+        total
+    });
+    total
+}

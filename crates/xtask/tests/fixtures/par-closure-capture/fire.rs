@@ -1,0 +1,23 @@
+// Golden fixture: every shape `par-closure-capture` must flag.
+// Linted under a synthetic library path by tests/golden.rs.
+
+fn mutation_of_captured_binding(items: &[u32]) -> u32 {
+    let mut total = 0u32;
+    par_map(items, |x| {
+        total += x;
+        total
+    });
+    total
+}
+
+fn mut_borrow_of_upvar(items: &[u32], sink: &mut Vec<u32>) {
+    par_chunks(items, 8, |chunk| {
+        push_all(&mut sink, chunk);
+    });
+}
+
+fn interior_mutability(items: &[u32], cell: &RefCell<u32>) {
+    par_map_indexed(items, |i, x| {
+        *cell.borrow_mut() += i as u32 + x;
+    });
+}

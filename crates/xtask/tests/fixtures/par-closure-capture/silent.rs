@@ -1,0 +1,35 @@
+// Golden fixture: supported parallel-closure patterns the rule must
+// accept — worker-local accumulation, reads of captured state, and
+// `&mut` on closure locals.
+
+fn local_accumulator(items: &[u32]) -> Vec<u32> {
+    par_map(items, |x| {
+        let mut local = 0u32;
+        local += x;
+        local
+    })
+}
+
+fn reads_captured_state(items: &[u32], table: &Table) -> Vec<u32> {
+    par_chunks(items, 8, |chunk| {
+        let mut found: Vec<u32> = Vec::new();
+        for &i in chunk {
+            if table.contains(i) {
+                found.push(i);
+            }
+        }
+        found
+    })
+}
+
+fn mut_borrow_of_local(items: &[u32]) -> Vec<u32> {
+    par_map(items, |x| {
+        let mut scratch = Vec::new();
+        fill(&mut scratch, x);
+        scratch.len() as u32
+    })
+}
+
+fn comparison_is_not_assignment(items: &[u32], limit: u32) -> Vec<bool> {
+    par_map(items, |x| x <= limit && limit >= 1 && limit == 7)
+}

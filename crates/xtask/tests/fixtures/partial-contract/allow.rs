@@ -1,0 +1,7 @@
+// Golden fixture: suppression for a trivial adapter that cannot be
+// interrupted and therefore carries no stage accounting.
+
+// infallible constant fold, nothing to report; lint: allow(partial-contract)
+fn mine_constant() -> MiningOutcome<u32> {
+    MiningOutcome::complete(0)
+}

@@ -1,0 +1,12 @@
+// Golden fixture: functions returning `MiningOutcome` that never
+// construct or propagate a `StageReport`.
+
+fn mine_silent(rows: &[u32]) -> MiningOutcome<Vec<u32>> {
+    let fds = rows.to_vec();
+    MiningOutcome::complete(fds)
+}
+
+fn mine_nested(rows: &[u32]) -> MiningOutcome<u32> {
+    let total = rows.iter().sum();
+    MiningOutcome::complete(total)
+}

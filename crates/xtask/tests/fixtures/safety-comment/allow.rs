@@ -1,0 +1,7 @@
+// Golden fixture: suppression marker instead of a SAFETY comment
+// (e.g. generated code where the justification lives at the generator).
+
+fn read_raw(p: *const u32) -> u32 {
+    // lint: allow(safety-comment)
+    unsafe { *p }
+}

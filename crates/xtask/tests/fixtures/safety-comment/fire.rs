@@ -1,0 +1,10 @@
+// Golden fixture: `unsafe` without an adjacent SAFETY comment.
+
+fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn justified_by_unrelated_comment(p: *const u32) -> u32 {
+    // this comment does not explain the invariant
+    unsafe { *p }
+}

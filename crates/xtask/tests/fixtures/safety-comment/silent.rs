@@ -1,0 +1,19 @@
+// Golden fixture: properly justified `unsafe` blocks.
+
+fn read_raw(p: *const u32) -> u32 {
+    // SAFETY: `p` is non-null and aligned; the caller holds the only
+    // reference for the duration of the read.
+    unsafe { *p }
+}
+
+fn same_line_justification(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: caller contract guarantees validity
+}
+
+fn multi_line_statement(slice: &[u32], idx: usize) -> u32 {
+    // SAFETY: idx was bounds-checked by the caller against slice.len().
+    let value: u32 = unsafe {
+        *slice.get_unchecked(idx)
+    };
+    value
+}

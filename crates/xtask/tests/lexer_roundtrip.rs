@@ -1,0 +1,75 @@
+//! Property test: the lexer is lossless over every `.rs` file in the
+//! workspace — concatenating the token texts reconstructs the source
+//! byte-for-byte, and no token is empty or out of order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lexer;
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn lexer_roundtrips_every_workspace_file() {
+    let root: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", ".."].iter().collect();
+    let mut files = Vec::new();
+    collect_rust_files(&root, &mut files);
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} .rs files under {} — wrong root?",
+        files.len(),
+        root.display()
+    );
+
+    for path in &files {
+        let src = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let tokens = lexer::lex(&src);
+
+        let mut rebuilt = String::with_capacity(src.len());
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            assert_eq!(
+                tok.start,
+                prev_end,
+                "{}: gap or overlap before token at byte {}",
+                path.display(),
+                tok.start
+            );
+            assert!(
+                tok.end > tok.start,
+                "{}: empty token at byte {}",
+                path.display(),
+                tok.start
+            );
+            rebuilt.push_str(tok.text(&src));
+            prev_end = tok.end;
+        }
+        assert_eq!(
+            prev_end,
+            src.len(),
+            "{}: lexer stopped {} bytes short",
+            path.display(),
+            src.len() - prev_end
+        );
+        assert_eq!(&rebuilt, &src, "{}: round-trip mismatch", path.display());
+    }
+}
