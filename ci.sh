@@ -33,6 +33,18 @@ DEPMINER_THREADS=1 cargo test -q --features faults
 echo "==> chaos pass: fault injection (DEPMINER_THREADS=4)"
 DEPMINER_THREADS=4 cargo test -q --features faults
 
+echo "==> profiled smoke mine -> target/PROFILE_smoke.json"
+# Generate a §5.2 synthetic relation, mine it with every engine under a
+# profile observer, then validate the exported span tree against the
+# same invariants the property tests assert — every pipeline stage of
+# Dep-Miner, TANE and FDEP must have opened a span.
+cargo run --release -q -p depminer -- generate \
+    --attrs 8 --rows 400 --correlation 0.5 --seed 9 target/smoke.csv > /dev/null
+cargo run --release -q -p depminer -- fds --algo all \
+    --profile target/PROFILE_smoke.json target/smoke.csv > /dev/null
+cargo run -p xtask -q -- validate-profile target/PROFILE_smoke.json \
+    --require depminer,agree-sets,max-sets,transversals,tane,tane-levels,fdep,negative-cover,fdep-inversion
+
 echo "==> parallel scaling benchmark -> BENCH_parallel.json"
 cargo run --release -q -p depminer-bench --bin parallel_scaling -- --reps 2
 
@@ -40,5 +52,8 @@ echo "==> governance overhead benchmark -> BENCH_govern.json"
 # Larger rows + best-of-5: single-run jitter on a small box exceeds the
 # ~1% effect being measured.
 cargo run --release -q -p depminer-bench --bin govern_overhead -- --rows 20000 --reps 5
+
+echo "==> observability overhead benchmark -> BENCH_observe.json"
+cargo run --release -q -p depminer-bench --bin observe_overhead -- --rows 20000 --reps 5
 
 echo "ci.sh: all gates green"

@@ -14,6 +14,7 @@
 //! paper; figures print the corresponding series as whitespace-separated
 //! columns ready for plotting.
 
+use depminer_bench::report::{Reporter, RunStamp};
 use depminer_bench::{
     render_size_figure, render_size_table, render_time_figure, render_time_table, run_table,
     SweepSpec, TableResult,
@@ -93,6 +94,12 @@ fn main() {
         }
     };
 
+    let reporter = Reporter::new("experiments", opts.quiet);
+    let stamp = RunStamp::capture("sequential");
+    reporter.start(&format!(
+        "targets={:?} host_cpus={} rev={}",
+        opts.targets, stamp.host_cpus, stamp.git_rev
+    ));
     for &c in &[0.0, 0.3, 0.5] {
         let (_, ids) = family_targets(c);
         if !ids.iter().any(|id| opts.targets.contains(*id)) {
@@ -109,18 +116,14 @@ fn main() {
         if let Some(s) = opts.seed {
             spec.seed = s;
         }
-        eprintln!(
-            "== sweeping c = {:.0}%: |R| in {:?}, |r| in {:?}, budget {:?} ==",
+        reporter.section(&format!(
+            "sweeping c = {:.0}%: |R| in {:?}, |r| in {:?}, budget {:?}",
             c * 100.0,
             spec.attrs,
             spec.rows,
             spec.budget
-        );
-        let table = run_table(&spec, |line| {
-            if !opts.quiet {
-                eprintln!("   {line}");
-            }
-        });
+        ));
+        let table = run_table(&spec, |line| reporter.progress(line));
         emit(&opts, c, &table);
     }
 }

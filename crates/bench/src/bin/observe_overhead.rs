@@ -1,36 +1,42 @@
-//! Checkpointing-overhead benchmark for the governance layer (ISSUE:
-//! BENCH_govern).
+//! Disabled-observer overhead benchmark for the observability layer
+//! (ISSUE: BENCH_observe).
 //!
 //! Runs the Table-2 synthetic workload (default |R|=20, |r|=10 000,
-//! correlation 0.5) end-to-end through Dep-Miner and TANE twice per
-//! configuration: once ungoverned (the unlimited-token fast path) and
-//! once under a fully armed but generous `Budget` (wall-clock deadline,
-//! couple, and candidate caps all set far above what the run needs), so
-//! every cooperative checkpoint performs its real deadline/counter work
-//! without ever tripping. The delta is the cost of governance; the
-//! acceptance target is <2% overhead.
+//! correlation 0.5) end-to-end through Dep-Miner and TANE under a
+//! generous budget twice per configuration: once with no observer
+//! (`Obs::none()`, the inlined-away fast path) and once with a
+//! [`NullSink`] attached — every span enter/exit, counter add, and
+//! memory sample reaches a live `dyn Observer` that discards it. The
+//! delta is the cost of leaving instrumentation compiled in but
+//! disabled; the acceptance target is <1% overhead.
 //!
 //! ```text
-//! cargo run --release -p depminer-bench --bin govern_overhead -- \
-//!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_govern.json]
+//! cargo run --release -p depminer-bench --bin observe_overhead -- \
+//!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_observe.json]
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use depminer_bench::report::{Reporter, RunStamp};
 use depminer_core::{Budget, DepMiner};
+use depminer_observe::{NullSink, Obs};
 use depminer_relation::{Relation, SyntheticConfig};
 use depminer_tane::Tane;
 
+/// Acceptance threshold from the ISSUE: the null sink must stay under
+/// this much slowdown relative to no observer at all.
+const TARGET_OVERHEAD_PCT: f64 = 1.0;
+
 struct Sample {
     algo: &'static str,
-    ungoverned_s: f64,
-    governed_s: f64,
+    baseline_s: f64,
+    null_sink_s: f64,
 }
 
 impl Sample {
     fn overhead_pct(&self) -> f64 {
-        (self.governed_s / self.ungoverned_s - 1.0) * 100.0
+        (self.null_sink_s / self.baseline_s - 1.0) * 100.0
     }
 }
 
@@ -45,9 +51,9 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// A budget with every governor armed but none remotely close to
-/// tripping: checkpoints pay full freight (deadline reads, counter
-/// updates) and the run still completes.
+/// A budget with every governor armed but none close to tripping, so
+/// both runs pay identical governance freight and the only variable is
+/// the observer.
 fn generous_budget() -> Budget {
     Budget::unlimited()
         .with_timeout(Duration::from_secs(3600))
@@ -57,36 +63,42 @@ fn generous_budget() -> Budget {
 
 fn run(r: &Relation, reps: usize) -> Vec<Sample> {
     let budget = generous_budget();
+    let null_obs = Obs::new(Arc::new(NullSink));
 
     let miner = DepMiner::new();
-    let depminer_ungoverned = time_best(reps, || {
-        let m = miner.mine(r);
-        assert!(!m.fds.is_empty() || r.arity() < 2, "workload found no FDs");
+    let depminer_baseline = time_best(reps, || {
+        let token = budget.start_observed(Obs::none());
+        let outcome = miner.mine_with_token(r, &token);
+        assert!(outcome.is_complete(), "generous budget must not trip");
     });
-    let depminer_governed = time_best(reps, || {
-        let outcome = miner.mine_governed(r, &budget);
+    let depminer_null = time_best(reps, || {
+        let token = budget.start_observed(null_obs.clone());
+        let outcome = miner.mine_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
     });
 
     let tane = Tane::new();
-    let tane_ungoverned = time_best(reps, || {
-        tane.run(r);
+    let tane_baseline = time_best(reps, || {
+        let token = budget.start_observed(Obs::none());
+        let outcome = tane.run_with_token(r, &token);
+        assert!(outcome.is_complete(), "generous budget must not trip");
     });
-    let tane_governed = time_best(reps, || {
-        let outcome = tane.run_governed(r, &budget);
+    let tane_null = time_best(reps, || {
+        let token = budget.start_observed(null_obs.clone());
+        let outcome = tane.run_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
     });
 
     vec![
         Sample {
             algo: "depminer",
-            ungoverned_s: depminer_ungoverned,
-            governed_s: depminer_governed,
+            baseline_s: depminer_baseline,
+            null_sink_s: depminer_null,
         },
         Sample {
             algo: "tane",
-            ungoverned_s: tane_ungoverned,
-            governed_s: tane_governed,
+            baseline_s: tane_baseline,
+            null_sink_s: tane_null,
         },
     ]
 }
@@ -96,7 +108,7 @@ fn main() {
     let mut n_rows = 10_000usize;
     let mut correlation = 0.5f64;
     let mut reps = 3usize;
-    let mut out = String::from("BENCH_govern.json");
+    let mut out = String::from("BENCH_observe.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut next = || args.next().unwrap_or_default();
@@ -120,7 +132,8 @@ fn main() {
     }
     .generate()
     .expect("valid generator parameters");
-    let reporter = Reporter::new("govern_overhead", false);
+
+    let reporter = Reporter::new("observe_overhead", false);
     let stamp = RunStamp::capture("sequential");
     reporter.start(&format!(
         "|R|={n_attrs} |r|={n_rows} correlation={correlation} reps={reps} \
@@ -131,10 +144,10 @@ fn main() {
     let samples = run(&r, reps);
     for s in &samples {
         reporter.result(&format!(
-            "{:<9} ungoverned {:>8.3}s  governed {:>8.3}s  overhead {:>+6.2}%",
+            "{:<9} no-observer {:>8.3}s  null-sink {:>8.3}s  overhead {:>+6.2}%",
             s.algo,
-            s.ungoverned_s,
-            s.governed_s,
+            s.baseline_s,
+            s.null_sink_s,
             s.overhead_pct()
         ));
     }
@@ -147,15 +160,17 @@ fn main() {
          \"correlation\": {correlation}, \"seed\": 9}},\n"
     ));
     json.push_str(&format!("  \"reps\": {reps},\n"));
-    json.push_str("  \"target_overhead_pct\": 2.0,\n");
+    json.push_str(&format!(
+        "  \"target_overhead_pct\": {TARGET_OVERHEAD_PCT:.1},\n"
+    ));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"ungoverned_s\": {:.6}, \"governed_s\": {:.6}, \
+            "    {{\"algo\": \"{}\", \"no_observer_s\": {:.6}, \"null_sink_s\": {:.6}, \
              \"overhead_pct\": {:.3}}}{}\n",
             s.algo,
-            s.ungoverned_s,
-            s.governed_s,
+            s.baseline_s,
+            s.null_sink_s,
             s.overhead_pct(),
             if i + 1 < samples.len() { "," } else { "" }
         ));

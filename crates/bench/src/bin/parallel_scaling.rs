@@ -4,9 +4,9 @@
 //! correlation 0.5) end-to-end through Dep-Miner and TANE at 1/2/4/8
 //! threads and writes a machine-readable summary to `BENCH_parallel.json`.
 //! Speedups are reported relative to the 1-thread run of the same binary;
-//! `host_cpus` records how much hardware parallelism was actually
-//! available, so a 1-core CI box producing ~1.0× speedups is
-//! distinguishable from a regression.
+//! the provenance stamp (git revision, `host_cpus`, thread grid) records
+//! how much hardware parallelism was actually available, so a 1-core CI
+//! box producing ~1.0× speedups is distinguishable from a regression.
 //!
 //! ```text
 //! cargo run --release -p depminer-bench --bin parallel_scaling -- \
@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use depminer_bench::report::{Reporter, RunStamp};
 use depminer_core::DepMiner;
 use depminer_parallel::Parallelism;
 use depminer_relation::{Relation, SyntheticConfig};
@@ -90,20 +91,28 @@ fn main() {
     }
     .generate()
     .expect("valid generator parameters");
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!(
-        "parallel_scaling: |R|={n_attrs} |r|={n_rows} correlation={correlation} \
-         reps={reps} host_cpus={host_cpus}"
-    );
+    let threads_desc = THREAD_COUNTS
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let stamp = RunStamp::capture(threads_desc);
+    let host_cpus = stamp.host_cpus;
+    let reporter = Reporter::new("parallel_scaling", false);
+    reporter.start(&format!(
+        "|R|={n_attrs} |r|={n_rows} correlation={correlation} \
+         reps={reps} host_cpus={host_cpus} rev={}",
+        stamp.git_rev
+    ));
 
     let samples: Vec<Sample> = THREAD_COUNTS
         .iter()
         .map(|&t| {
             let s = run(&r, t, reps);
-            eprintln!(
-                "  threads={:<2} dep-miner {:>8.3}s  tane {:>8.3}s",
+            reporter.result(&format!(
+                "threads={:<2} dep-miner {:>8.3}s  tane {:>8.3}s",
                 s.threads, s.depminer_s, s.tane_s
-            );
+            ));
             s
         })
         .collect();
@@ -111,6 +120,7 @@ fn main() {
     let base = &samples[0];
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&stamp.json_member());
     json.push_str(&format!(
         "  \"workload\": {{\"n_attrs\": {n_attrs}, \"n_rows\": {n_rows}, \
          \"correlation\": {correlation}, \"seed\": 9}},\n"
@@ -132,5 +142,5 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, &json).expect("write benchmark summary");
-    println!("wrote {out}");
+    reporter.wrote(&out);
 }

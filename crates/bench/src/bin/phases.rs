@@ -1,25 +1,51 @@
-//! Per-phase timing breakdown of the Dep-Miner pipeline vs TANE.
+//! Per-phase timing breakdown of the Dep-Miner pipeline vs TANE (§5.3).
 //!
-//! Shows *where* the two Dep-Miner variants spend their time (agree sets
-//! dominate; the lhs/transversal step grows with `|R|`), complementing the
-//! end-to-end numbers of the `experiments` binary.
+//! Shows *where* the two Dep-Miner variants spend their time (agree
+//! sets dominate; the transversal step grows with `|R|`), complementing
+//! the end-to-end numbers of the `experiments` binary.
+//!
+//! Phase times come from the observability layer: each run executes
+//! under a `ProfileSink`-observed token and the table is read back out
+//! of the exported span tree — the same data `depminer --profile`
+//! writes — rather than from hand-carried stopwatches. The counters
+//! column surfaces the matching span-tree counters (partition products
+//! for Dep-Miner, apriori candidates for TANE).
 //!
 //! ```text
-//! cargo run --release -p depminer-bench --bin phases -- [--attrs a,b,..] [--rows n,..] [--correlation c]
+//! cargo run --release -p depminer-bench --bin phases -- [--attrs a,b,..] [--rows n,..] [--correlation c] [--quiet]
 //! ```
 
-use depminer_core::DepMiner;
-use depminer_relation::SyntheticConfig;
+use std::sync::Arc;
+
+use depminer_bench::report::{span_ms, Reporter, RunStamp};
+use depminer_core::{Budget, DepMiner};
+use depminer_observe::profile::{Profile, ProfileSink};
+use depminer_observe::Obs;
+use depminer_relation::{Relation, SyntheticConfig};
 use depminer_tane::Tane;
 
 fn parse_list(s: &str) -> Vec<usize> {
     s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
 }
 
+/// Runs `f` under a fresh profile-observed token and returns the span
+/// snapshot alongside `f`'s result.
+fn profiled<T>(f: impl FnOnce(&depminer_core::CancelToken) -> T) -> (T, Profile) {
+    let sink = Arc::new(ProfileSink::new());
+    let token = Budget::unlimited().start_observed(Obs::new(sink.clone()));
+    let out = f(&token);
+    (out, sink.snapshot())
+}
+
+fn ms(v: f64) -> String {
+    format!("{v:.1}ms")
+}
+
 fn main() {
     let mut attrs = vec![20usize, 40];
     let mut rows = vec![5_000usize, 20_000];
     let mut correlation = 0.5f64;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -28,19 +54,35 @@ fn main() {
             "--correlation" => {
                 correlation = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.5)
             }
+            "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
+    let reporter = Reporter::new("phases", quiet);
+    let stamp = RunStamp::capture("sequential");
+    reporter.start(&format!(
+        "attrs={attrs:?} rows={rows:?} correlation={correlation} \
+         host_cpus={} rev={}",
+        stamp.host_cpus, stamp.git_rev
+    ));
     println!(
-        "{:<6} {:<8} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "|R|", "|r|", "variant", "preproc", "agree", "cmax", "lhs", "total"
+        "{:<6} {:<8} {:<12} {:>10} {:>10} {:>10} {:>12} {:>10}  {}",
+        "|R|",
+        "|r|",
+        "variant",
+        "preproc",
+        "agree",
+        "max-sets",
+        "transversals",
+        "total",
+        "counters"
     );
     for &n_attrs in &attrs {
         for &n_rows in &rows {
-            let r = SyntheticConfig {
+            let r: Relation = SyntheticConfig {
                 n_attrs,
                 n_rows,
                 correlation,
@@ -52,27 +94,38 @@ fn main() {
                 ("dep-miner", DepMiner::algorithm_2(None)),
                 ("dep-miner2", DepMiner::algorithm_3()),
             ] {
-                let m = miner.mine(&r);
-                let t = m.timings;
-                let ms = |d: std::time::Duration| format!("{:.1}ms", d.as_secs_f64() * 1e3);
+                reporter.progress(&format!("|R|={n_attrs} |r|={n_rows} {name}"));
+                let (outcome, profile) = profiled(|token| miner.mine_with_token(&r, token));
+                assert!(outcome.is_complete(), "unlimited budget must not trip");
                 println!(
-                    "{n_attrs:<6} {n_rows:<8} {name:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                    ms(t.preprocess),
-                    ms(t.agree_sets),
-                    ms(t.cmax_sets),
-                    ms(t.left_hand_sides),
-                    ms(t.total()),
+                    "{n_attrs:<6} {n_rows:<8} {name:<12} {:>10} {:>10} {:>10} {:>12} {:>10}  products={}",
+                    ms(span_ms(&profile, "preprocess")),
+                    ms(span_ms(&profile, "agree-sets")),
+                    ms(span_ms(&profile, "max-sets")),
+                    ms(span_ms(&profile, "transversals")),
+                    ms(span_ms(&profile, "depminer")),
+                    profile.counter("partition_products"),
                 );
+                reporter.profile(&profile);
             }
-            let t0 = std::time::Instant::now();
-            let tn = Tane::new().run(&r);
+            reporter.progress(&format!("|R|={n_attrs} |r|={n_rows} tane"));
+            let (outcome, profile) = profiled(|token| Tane::new().run_with_token(&r, token));
+            assert!(outcome.is_complete(), "unlimited budget must not trip");
+            let tn = &outcome.result;
             println!(
-                "{n_attrs:<6} {n_rows:<8} {:<12} {:>10} {:>10} {:>10} {:>10} {:>9.1}ms  (levels {}, candidates {})",
-                "tane", "-", "-", "-", "-",
-                t0.elapsed().as_secs_f64() * 1e3,
+                "{n_attrs:<6} {n_rows:<8} {:<12} {:>10} {:>10} {:>10} {:>12} {:>10}  \
+                 levels={} candidates={} products={}",
+                "tane",
+                "-",
+                "-",
+                "-",
+                ms(span_ms(&profile, "tane-levels")),
+                ms(span_ms(&profile, "tane")),
                 tn.stats.levels,
-                tn.stats.candidates,
+                profile.counter("apriori_candidates"),
+                profile.counter("partition_products"),
             );
+            reporter.profile(&profile);
         }
     }
 }

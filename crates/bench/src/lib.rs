@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 use depminer_core::DepMiner;
 use depminer_relation::{Relation, SyntheticConfig};

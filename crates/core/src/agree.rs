@@ -145,6 +145,7 @@ pub fn agree_sets_governed(
     par: Parallelism,
     token: &CancelToken,
 ) -> (AgreeSets, Option<BudgetExceeded>) {
+    let _span = token.observer().span("agree-sets");
     match strategy {
         AgreeSetStrategy::Naive => {
             // Reconstruct pairwise agreement from the partition db itself so
@@ -222,6 +223,7 @@ fn naive_from_db_governed(
     token: &CancelToken,
 ) -> (AgreeSets, Option<BudgetExceeded>) {
     let stage = Stage::AgreeSets;
+    let _span = token.observer().span("agree-sets/naive");
     let ec = db.equivalence_class_ids();
     let n = db.n_rows();
     let rows: Vec<usize> = (0..n).collect();
@@ -229,6 +231,7 @@ fn naive_from_db_governed(
     // loop), so small chunks keep the stealing balanced.
     let locals: Vec<(FxHashSet<AttrSet>, Option<BudgetExceeded>)> =
         par_chunks(par, &rows, chunk_len(n, par, 8), |row_chunk| {
+            let _scan = token.observer().span("agree-sets/scan");
             let mut local: FxHashSet<AttrSet> = FxHashSet::default();
             for &i in row_chunk {
                 // Count the row's couples before scanning them; a trip
@@ -290,6 +293,7 @@ pub fn agree_sets_couples_governed(
     token: &CancelToken,
 ) -> (AgreeSets, Option<BudgetExceeded>) {
     let stage = Stage::AgreeSets;
+    let _span = token.observer().span("agree-sets/couples");
     let mc = db.maximal_classes();
     let threshold = chunk_size.unwrap_or(usize::MAX).max(1);
     let mut ag: FxHashSet<AttrSet> = FxHashSet::default();
@@ -378,6 +382,7 @@ fn flush_couples(
         &attrs,
         chunk_len(attrs.len(), par, 2),
         |attr_chunk| {
+            let _scan = token.observer().span("agree-sets/scan");
             let mut local = vec![AttrSet::empty(); n];
             for &a in attr_chunk {
                 token.check(Stage::AgreeSets)?;
@@ -477,6 +482,7 @@ pub fn agree_sets_ec_governed(
     token: &CancelToken,
 ) -> (AgreeSets, Option<BudgetExceeded>) {
     let stage = Stage::AgreeSets;
+    let _span = token.observer().span("agree-sets/ec");
     let ec = db.equivalence_class_ids();
     let mc = db.maximal_classes();
     let mut couples: Vec<(u32, u32)> = Vec::new();
@@ -504,6 +510,7 @@ pub fn agree_sets_ec_governed(
         couples.dedup();
         let locals: Vec<(FxHashSet<AttrSet>, Option<BudgetExceeded>)> =
             par_chunks(par, &couples, chunk_len(couples.len(), par, 4), |chunk| {
+                let _scan = token.observer().span("agree-sets/scan");
                 let mut local: FxHashSet<AttrSet> = FxHashSet::default();
                 for (idx, &(t, u)) in chunk.iter().enumerate() {
                     if idx % GOVERN_POLL_STRIDE == 0 {

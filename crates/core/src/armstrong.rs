@@ -33,6 +33,7 @@ pub fn synthetic_armstrong_governed(
     max_union: &[AttrSet],
     token: &CancelToken,
 ) -> Result<Relation, BudgetExceeded> {
+    let _span = token.observer().span("armstrong");
     let n = schema.arity();
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(max_union.len() + 1);
     rows.push(vec![Value::Int(0); n]); // X₀ = R: all zeros
@@ -103,6 +104,7 @@ pub fn real_world_armstrong_governed(
     max_union: &[AttrSet],
     token: &CancelToken,
 ) -> Result<Result<Relation, RelationError>, BudgetExceeded> {
+    let _span = token.observer().span("armstrong");
     if let Err((a, needed, available)) = real_world_exists(r, max_union) {
         return Ok(Err(RelationError::ArmstrongNotRealizable {
             attribute: r.schema().name(a).to_string(),

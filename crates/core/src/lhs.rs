@@ -98,6 +98,7 @@ pub fn left_hand_sides_governed(
     par: Parallelism,
     token: &CancelToken,
 ) -> (Vec<Option<Vec<AttrSet>>>, Option<BudgetExceeded>) {
+    let _span = token.observer().span("transversals");
     let families: Vec<Option<Vec<AttrSet>>> = par_map_indexed(par, ms.arity, |a| {
         let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
         engine.run_governed(&h, token).ok()

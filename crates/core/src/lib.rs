@@ -163,7 +163,10 @@ impl DepMiner {
         token: &CancelToken,
     ) -> MiningOutcome<MiningResult> {
         let t0 = Instant::now();
-        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
+        let db = {
+            let _span = token.observer().span("preprocess");
+            StrippedPartitionDb::from_relation_with(r, self.parallelism)
+        };
         let preprocess = t0.elapsed();
         if audits_enabled() {
             enforce(db.validate_against(r));
@@ -182,6 +185,7 @@ impl DepMiner {
     ) -> MiningOutcome<MiningResult> {
         let arity = db.arity();
         let mut stages: Vec<StageReport> = Vec::new();
+        let _pipeline_span = token.observer().span("depminer");
 
         let t1 = Instant::now();
         let (ag, agree_err) = agree_sets_governed(db, self.strategy, self.parallelism, token);
@@ -284,6 +288,9 @@ impl DepMiner {
             .map(Option::unwrap_or_default)
             .collect();
         let fds = fd_output(&lhs);
+        token
+            .observer()
+            .add(depminer_govern::Counter::FdEmissions, fds.len() as u64);
         let t_lhs = t3.elapsed();
         stages.push(StageReport {
             stage: Stage::Transversals,

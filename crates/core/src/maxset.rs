@@ -76,7 +76,12 @@ pub fn cmax_sets_governed(
 ) -> Result<MaxSets, BudgetExceeded> {
     let n = ag.arity;
     let full = AttrSet::full(n);
+    let _span = token.observer().span("max-sets");
     let max: Vec<Vec<AttrSet>> = par_map_indexed_governed(par, token, Stage::MaxSets, n, |a| {
+        let _filter = token.observer().span("max-sets/filter");
+        token
+            .observer()
+            .add(depminer_govern::Counter::MaxsetFilterPasses, 1);
         // Lemma 3: maximal non-empty agree sets avoiding A.
         let mut cands: Vec<AttrSet> = ag.sets.iter().copied().filter(|x| !x.contains(a)).collect();
         retain_maximal(&mut cands);

@@ -74,6 +74,7 @@ impl Fdep {
     /// of fully inverted rhs attributes — each rhs is independent — and
     /// drops the attribute being inverted when the budget ran out.
     pub fn run_with_token(&self, r: &Relation, token: &CancelToken) -> MiningOutcome<FdepResult> {
+        let _pipeline_span = token.observer().span("fdep");
         let n = r.arity();
         let db = StrippedPartitionDb::from_relation(r);
 
@@ -81,6 +82,7 @@ impl Fdep {
         // Violated lhs per rhs, kept maximal. A trie per rhs would also
         // work; the agree-set family is typically small, so a vec + max
         // filter is simpler and fast.
+        let cover_span = token.observer().span("negative-cover");
         let ec = db.equivalence_class_ids();
         let mc = db.maximal_classes();
         let mut agree: FxHashSet<AttrSet> = FxHashSet::default();
@@ -171,6 +173,8 @@ impl Fdep {
         };
 
         // ---- Phase 2: invert into the positive cover ------------------
+        drop(cover_span);
+        let _invert_span = token.observer().span("fdep-inversion");
         let mut fds: Vec<Fd> = Vec::new();
         let mut completed_attrs = n;
         'invert: for (a, neg) in negative.iter().enumerate() {
@@ -219,6 +223,9 @@ impl Fdep {
             minimal.extend(sides.into_iter().map(|x| Fd::new(x, a)));
         }
         normalize_fds(&mut minimal);
+        token
+            .observer()
+            .add(depminer_govern::Counter::FdEmissions, minimal.len() as u64);
         let result = FdepResult {
             fds: minimal,
             negative_cover_size,

@@ -34,6 +34,13 @@ use std::time::{Duration, Instant};
 #[cfg(feature = "faults")]
 pub mod faults;
 
+/// Re-export of the observability subsystem: stage crates depend on
+/// `govern` already, so they reach spans and counters through
+/// `govern::observe` / [`CancelToken::observer`] without a direct
+/// dependency edge.
+pub use depminer_observe as observe;
+pub use depminer_observe::{Counter, Obs, SpanGuard};
+
 /// The pipeline stages that poll a [`CancelToken`]. Diagnostics name the
 /// stage a budget tripped in, so partial results can say exactly where
 /// mining stopped.
@@ -209,8 +216,18 @@ impl Budget {
     }
 
     /// Starts the budget: converts the timeout into an absolute deadline
-    /// and returns the live token stages will poll.
+    /// and returns the live token stages will poll. The token carries a
+    /// disabled observer; use [`Budget::start_observed`] to instrument.
     pub fn start(&self) -> CancelToken {
+        self.start_observed(Obs::none())
+    }
+
+    /// Starts the budget with an observer attached: every checkpoint
+    /// that records work (couples, candidates, memory) also feeds the
+    /// matching observe counter, so instrumentation and budgets share
+    /// one hook. Stage code reads the handle via
+    /// [`CancelToken::observer`].
+    pub fn start_observed(&self, obs: Obs) -> CancelToken {
         CancelToken {
             state: Arc::new(TokenState {
                 cancelled: AtomicBool::new(false),
@@ -224,6 +241,7 @@ impl Budget {
                 max_level: self.max_level.unwrap_or(usize::MAX),
                 max_memory: self.max_memory_bytes.unwrap_or(u64::MAX),
                 memory: AtomicU64::new(0),
+                obs,
                 #[cfg(feature = "faults")]
                 fault: None,
             }),
@@ -234,7 +252,15 @@ impl Budget {
     /// on the token (`faults` feature; chaos tests only).
     #[cfg(feature = "faults")]
     pub fn start_with_fault(&self, plan: faults::FaultPlan) -> CancelToken {
-        let mut token = self.start();
+        self.start_observed_with_fault(Obs::none(), plan)
+    }
+
+    /// [`Budget::start_observed`] plus an armed fault plan, so the chaos
+    /// tests can assert profile trees stay well-formed when a stage
+    /// panics or trips mid-flight (`faults` feature).
+    #[cfg(feature = "faults")]
+    pub fn start_observed_with_fault(&self, obs: Obs, plan: faults::FaultPlan) -> CancelToken {
+        let mut token = self.start_observed(obs);
         let state =
             Arc::get_mut(&mut token.state).expect("freshly started token has no other handles");
         state.fault = Some(plan);
@@ -269,6 +295,9 @@ struct TokenState {
     max_level: usize,
     max_memory: u64,
     memory: AtomicU64,
+    /// Observer fed by the work-recording checkpoints; the disabled
+    /// handle keeps the hot path at one extra branch.
+    obs: Obs,
     #[cfg(feature = "faults")]
     fault: Option<faults::FaultPlan>,
 }
@@ -352,6 +381,7 @@ impl CancelToken {
     /// running total passes the budget.
     pub fn add_couples(&self, n: u64, stage: Stage) -> Result<(), BudgetExceeded> {
         let total = self.state.couples.fetch_add(n, Ordering::Relaxed) + n;
+        self.state.obs.add(Counter::CouplesScanned, n);
         if total > self.state.max_couples {
             return Err(self.trip(
                 Resource::Couples,
@@ -369,6 +399,7 @@ impl CancelToken {
     /// candidate budget.
     pub fn add_candidates(&self, n: u64, stage: Stage) -> Result<(), BudgetExceeded> {
         let total = self.state.candidates.fetch_add(n, Ordering::Relaxed) + n;
+        self.state.obs.add(Counter::AprioriCandidates, n);
         if total > self.state.max_candidates {
             return Err(self.trip(
                 Resource::Candidates,
@@ -400,6 +431,7 @@ impl CancelToken {
     /// allocation is dropped or flushed.
     pub fn reserve_memory(&self, bytes: u64, stage: Stage) -> Result<(), BudgetExceeded> {
         let total = self.state.memory.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.state.obs.mem_sample(total);
         if total > self.state.max_memory {
             return Err(self.trip(
                 Resource::Memory,
@@ -427,6 +459,13 @@ impl CancelToken {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// The observer handle riding this token. Stage code opens spans on
+    /// it (`token.observer().span("agree-sets")`); the default handle is
+    /// disabled and every call short-circuits after one branch.
+    pub fn observer(&self) -> &Obs {
+        &self.state.obs
     }
 
     /// Couples recorded so far (diagnostics).
@@ -728,6 +767,25 @@ mod tests {
             detail: "d".into(),
         };
         assert_eq!(no_stage.to_string(), "external cancellation exceeded: d");
+    }
+
+    #[test]
+    fn observed_token_feeds_counters_and_memory() {
+        use observe::profile::ProfileSink;
+        let sink = std::sync::Arc::new(ProfileSink::new());
+        let token = Budget::unlimited().start_observed(Obs::new(sink.clone()));
+        assert!(token.observer().enabled());
+        token.add_couples(11, Stage::AgreeSets).unwrap();
+        token.add_candidates(4, Stage::TaneLevels).unwrap();
+        token.reserve_memory(300, Stage::AgreeSets).unwrap();
+        token.release_memory(300);
+        token.reserve_memory(120, Stage::MaxSets).unwrap();
+        let p = sink.snapshot();
+        assert_eq!(p.counter("couples_scanned"), 11);
+        assert_eq!(p.counter("apriori_candidates"), 4);
+        assert_eq!(p.mem_high_water, 300, "high-water survives release");
+        // The plain entry points stay unobserved.
+        assert!(!CancelToken::unlimited().observer().enabled());
     }
 
     #[test]

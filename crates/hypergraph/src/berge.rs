@@ -28,6 +28,7 @@ pub fn min_transversals_governed(
     h: &Hypergraph,
     token: &CancelToken,
 ) -> Result<Vec<AttrSet>, BudgetExceeded> {
+    let _span = token.observer().span("transversals/berge");
     // Tr of the empty hypergraph is {∅}.
     let mut tr: Vec<AttrSet> = vec![AttrSet::empty()];
     for &edge in h.edges() {

@@ -29,6 +29,7 @@ pub fn min_transversals_governed(
     h: &Hypergraph,
     token: &CancelToken,
 ) -> Result<Vec<AttrSet>, BudgetExceeded> {
+    let _span = token.observer().span("transversals/dfs");
     if h.is_empty() {
         return Ok(vec![AttrSet::empty()]);
     }

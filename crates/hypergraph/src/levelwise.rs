@@ -57,6 +57,7 @@ pub fn min_transversals_governed(
     par: Parallelism,
     token: &CancelToken,
 ) -> Result<Vec<AttrSet>, BudgetExceeded> {
+    let _span = token.observer().span("transversals/levelwise");
     if h.is_empty() {
         return Ok(vec![AttrSet::empty()]);
     }

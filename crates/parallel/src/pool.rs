@@ -163,6 +163,10 @@ impl PoolShared {
 
     fn worker_loop(self: Arc<Self>, index: usize) {
         WORKER_INDEX.with(|w| w.set(Some(index)));
+        // Tag the thread for the observability layer: spans and counters
+        // recorded from this worker carry its pool index, so profile
+        // trees can tell fan-out work from driver work.
+        depminer_observe::set_worker_tag(index as u32);
         loop {
             if let Some(job) = self.try_pop() {
                 // Jobs are panic-wrapped by the scope that spawned them;

@@ -213,6 +213,7 @@ pub fn approximate_fds_governed(
 ) -> MiningOutcome<Vec<ApproxFd>> {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     let stage = Stage::ApproxLevels;
+    let _span = token.observer().span("approx-levels");
     let db = StrippedPartitionDb::from_relation(r);
     let n = db.arity();
     let n_rows = db.n_rows();
@@ -272,6 +273,9 @@ pub fn approximate_fds_governed(
                 if found_a.iter().any(|f| f.is_subset_of(x)) {
                     continue; // a subset already valid ⇒ x not minimal
                 }
+                token
+                    .observer()
+                    .add(depminer_govern::Counter::PartitionProducts, 1);
                 let pxa = px.product_with(db.partition(a), &mut scratch);
                 let e = g3_error(px, &pxa, n_rows, &mut labels);
                 if e <= epsilon {
@@ -311,6 +315,9 @@ pub fn approximate_fds_governed(
                             stopped = Some(why);
                             break 'levels;
                         }
+                        token
+                            .observer()
+                            .add(depminer_govern::Counter::PartitionProducts, 1);
                         let p = parts[&x].product_with(&parts[&y], &mut scratch);
                         next_parts.insert(z, p);
                         next.push(z);
@@ -325,6 +332,9 @@ pub fn approximate_fds_governed(
     }
 
     out.sort_by_key(|afd| (afd.fd.rhs, afd.fd.lhs));
+    token
+        .observer()
+        .add(depminer_govern::Counter::FdEmissions, out.len() as u64);
     let report = StageReport {
         stage,
         completed: stopped.is_none(),

@@ -169,6 +169,7 @@ impl Tane {
         token: &CancelToken,
     ) -> MiningOutcome<TaneResult> {
         let t0 = Instant::now();
+        let _span = token.observer().span("tane");
         let n = db.arity();
         let n_rows = db.n_rows();
         let full = AttrSet::full(n);
@@ -199,6 +200,7 @@ impl Tane {
         let mut l = 1usize;
         let mut stopped: Option<BudgetExceeded> = None;
         let mut completed_levels = 0usize;
+        let levels_span = token.observer().span("tane-levels");
         while !level.is_empty() {
             // Level entry is the primary checkpoint: depth and candidate
             // budgets are charged before any of the level's work starts, so
@@ -322,8 +324,12 @@ impl Tane {
             level = next_level;
             l += 1;
         }
+        drop(levels_span);
 
         normalize_fds(&mut fds);
+        token
+            .observer()
+            .add(depminer_govern::Counter::FdEmissions, fds.len() as u64);
         stats.elapsed = t0.elapsed();
         let result = TaneResult {
             schema: db.schema().clone(),
@@ -412,6 +418,11 @@ fn generate_next(
     pairs.sort_unstable_by_key(|&(x, y, z)| (z, x, y));
     pairs.dedup_by_key(|p| p.2);
     stats.partition_products += pairs.len();
+    token.observer().add(
+        depminer_govern::Counter::PartitionProducts,
+        pairs.len() as u64,
+    );
+    let _span = token.observer().span("tane-levels/products");
     let produced: Vec<StrippedPartition> =
         if pairs.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
             let chunk = pairs.len().div_ceil(par.effective_threads() * 4).max(1);
@@ -422,6 +433,7 @@ fn generate_next(
                 &pairs,
                 chunk,
                 |chunk_pairs| {
+                    let _products = token.observer().span("tane-levels/products");
                     let mut local_scratch = ProductScratch::new(n_rows);
                     chunk_pairs
                         .iter()

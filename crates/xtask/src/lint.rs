@@ -2,7 +2,7 @@
 //! workspace's own sources, built on the lossless [`crate::lexer`] and
 //! the [`crate::flow`] block/flow analyzer.
 //!
-//! Eleven project-specific rules (see DESIGN.md §7.1):
+//! Twelve project-specific rules (see DESIGN.md §7.1):
 //!
 //! | rule                  | level | what it flags                                          |
 //! |-----------------------|-------|--------------------------------------------------------|
@@ -17,6 +17,7 @@
 //! | `budget-coverage`     | flow  | lattice loop polling a checkpoint on some paths but not all |
 //! | `safety-comment`      | flow  | `unsafe` without an adjacent `// SAFETY:` justification |
 //! | `partial-contract`    | flow  | `fn … -> MiningOutcome` that never threads a `StageReport` |
+//! | `span-coverage`       | flow  | `fn *_governed` mining stage that never opens an observe span |
 //!
 //! Scope is decided by the [`crate::modmap`] module map: test code
 //! (`tests/`, `benches/`, `examples/`, `fixtures/` segments and in-file
@@ -40,7 +41,7 @@ use crate::rules;
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 11] = [
+pub const RULES: [&str; 12] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
@@ -52,6 +53,7 @@ pub const RULES: [&str; 11] = [
     "budget-coverage",
     "safety-comment",
     "partial-contract",
+    "span-coverage",
 ];
 
 /// One finding: a rule violated at a file:line location.
@@ -281,6 +283,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
         rules::concurrency::check_safety_comment(path, &lines, &in_test, &mut out);
         rules::governance::check_budget_coverage(path, &sig, &tree, &lines, &in_test, &mut out);
         rules::governance::check_partial_contract(path, &sig, &tree, &lines, &in_test, &mut out);
+        rules::governance::check_span_coverage(path, &sig, &tree, &lines, &in_test, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -620,6 +623,27 @@ mod tests {
             "fn mine(r: &Relation) -> MiningOutcome<Vec<u32>> {\n    let stages = StageReport::default();\n    MiningOutcome { result: enumerate(r), why: None, stages }\n}\n",
         );
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn span_coverage_requires_observe_span_in_governed_fns() {
+        let diags = lint(
+            "fn scan_governed(rows: &[u32], token: &CancelToken) -> Result<u32, BudgetExceeded> {\n    token.check(Stage::AgreeSets)?;\n    Ok(rows.len() as u32)\n}\n",
+        );
+        assert_eq!(rules(&diags), ["span-coverage"], "{diags:?}");
+        let spanned = lint(
+            "fn scan_governed(rows: &[u32], token: &CancelToken) -> Result<u32, BudgetExceeded> {\n    let _span = token.observer().span(\"agree-sets\");\n    token.check(Stage::AgreeSets)?;\n    Ok(rows.len() as u32)\n}\n",
+        );
+        assert!(spanned.is_empty(), "{spanned:?}");
+        let delegating = lint(
+            "fn outer_governed(rows: &[u32], token: &CancelToken) -> Result<u32, BudgetExceeded> {\n    inner_scan_governed(rows, token)\n}\n",
+        );
+        assert!(delegating.is_empty(), "{delegating:?}");
+        // par_* fan-out is plumbing, not stage delegation.
+        let fanout = lint(
+            "fn wide_governed(rows: &[u32], token: &CancelToken) -> Result<Vec<u32>, BudgetExceeded> {\n    par_map_governed(Parallelism::Auto, token, Stage::MaxSets, rows, |x| Ok(*x))\n}\n",
+        );
+        assert_eq!(rules(&fanout), ["span-coverage"], "{fanout:?}");
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //!
 //! ```text
 //! cargo run -p xtask -- check [--json] [--diff BASE] [--baseline FILE] [PATH...]
+//! cargo run -p xtask -- validate-profile FILE [--require a,b,c]
 //! ```
+//!
+//! `validate-profile` checks a `depminer --profile` JSON export against
+//! the span-tree invariants (schema tag, balanced enter/exit, child
+//! durations bounded by parents) and, with `--require`, that the named
+//! spans all appear — used by `ci.sh` after the profiled smoke mine.
 //!
 //! `check` runs the in-tree static-analysis pass (see `xtask::lint`)
 //! over the workspace sources and exits non-zero if any diagnostic
@@ -28,10 +34,12 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("check") => {}
+        Some("validate-profile") => return validate_profile(args),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: cargo run -p xtask -- check [--json] [--diff BASE] [--baseline FILE] [PATH...]"
             );
+            eprintln!("       cargo run -p xtask -- validate-profile FILE [--require a,b,c]");
             eprintln!("rules: {}", lint::RULES.join(", "));
             return if args.next().is_none() && std::env::args().len() == 1 {
                 ExitCode::from(2)
@@ -40,7 +48,7 @@ fn main() -> ExitCode {
             };
         }
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}` (try `check`)");
+            eprintln!("xtask: unknown command `{other}` (try `check` or `validate-profile`)");
             return ExitCode::from(2);
         }
     }
@@ -167,6 +175,66 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `validate-profile FILE [--require a,b,c]`: parse a profile JSON
+/// export and check the span-tree invariants plus any required span
+/// names. Exit codes: 0 valid, 1 invalid or unreadable, 2 usage.
+fn validate_profile(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut require: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(list) => require.extend(
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                ),
+                None => {
+                    eprintln!("xtask: --require needs a comma-separated span-name list");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("xtask: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => {
+                if file.is_some() {
+                    eprintln!("xtask: validate-profile takes exactly one FILE");
+                    return ExitCode::from(2);
+                }
+                file = Some(other.to_string());
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: cargo run -p xtask -- validate-profile FILE [--require a,b,c]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let required: Vec<&str> = require.iter().map(String::as_str).collect();
+    match depminer_observe::profile::validate_profile_json(&text, &required) {
+        Ok(names) => {
+            println!(
+                "xtask validate-profile: {file}: OK ({} span name(s): {})",
+                names.len(),
+                names.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("xtask validate-profile: {file}: INVALID: {msg}");
+            ExitCode::FAILURE
+        }
     }
 }
 

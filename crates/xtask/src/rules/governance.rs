@@ -1,7 +1,9 @@
 //! Flow-level governance rules: `budget-coverage` (the control-flow
 //! upgrade of `unchecked-loop`, proving a checkpoint on *all* paths
-//! through a lattice loop body) and `partial-contract` (functions
-//! returning `MiningOutcome` must thread a `StageReport`).
+//! through a lattice loop body), `partial-contract` (functions
+//! returning `MiningOutcome` must thread a `StageReport`), and
+//! `span-coverage` (every `*_governed` mining stage must open an
+//! observe span or delegate to a governed helper that does).
 
 use super::CHECKPOINT_TOKENS;
 use crate::flow::{self, Node, SigTok};
@@ -130,6 +132,102 @@ pub fn check_partial_contract(
                 "`fn {name}` returns `MiningOutcome` but never constructs or propagates a `StageReport`; partial results must carry an honest stage account"
             ),
         });
+    }
+}
+
+/// Identifiers in a `*_governed` body that satisfy the span obligation:
+/// opening an observe span directly (`.span(…)` binds a `SpanGuard`), or
+/// delegating to another governed / token-threading helper that owns the
+/// span. Parallel-runtime fan-out helpers (`par_*`) distribute work but
+/// own no mining stage, so calling one is *not* delegation.
+fn satisfies_span(text: &str) -> bool {
+    text == "span"
+        || (!text.starts_with("par_")
+            && (text.ends_with("_governed") || text.ends_with("_with_token")))
+}
+
+/// Rule `span-coverage`: a function named `*_governed` is a mining stage
+/// running under the governance token; it must open an observe span or
+/// delegate to a governed/with-token helper that does. A stage without a
+/// span is invisible to `depminer --profile` and the §5.3 phase tables,
+/// which silently misattribute its time to the parent.
+///
+/// The parallel runtime is exempt: its `par_*_governed` helpers are
+/// fan-out plumbing, not stages.
+pub fn check_span_coverage(
+    path: &str,
+    sig: &[SigTok<'_>],
+    tree: &[Node],
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if in_zone(path, Zone::ParallelRuntime) {
+        return;
+    }
+    let mut fns: Vec<(u32, String)> = Vec::new();
+    scan_governed_fns(tree, sig, &mut fns);
+    for (line, name) in fns {
+        let idx = line as usize - 1;
+        if idx >= lines.len()
+            || in_test.get(idx).copied().unwrap_or(false)
+            || allowed(lines, idx, "span-coverage")
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: line as usize,
+            rule: "span-coverage",
+            message: format!(
+                "`fn {name}` is a governed mining stage but never opens an observe span (nor delegates to a governed helper that does); the stage is invisible to `--profile`"
+            ),
+        });
+    }
+}
+
+/// Finds `fn` items named `*_governed` whose bodies never satisfy the
+/// span obligation, recursively.
+fn scan_governed_fns(nodes: &[Node], sig: &[SigTok<'_>], out: &mut Vec<(u32, String)>) {
+    let mut i = 0;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Tok(t) if sig[*t].text == "fn" && sig[*t].kind == TokenKind::Ident => {
+                let line = sig[*t].line;
+                let name = match nodes.get(i + 1) {
+                    Some(Node::Tok(t2)) if sig[*t2].kind == TokenKind::Ident => sig[*t2].text,
+                    _ => "?",
+                };
+                // Skip the signature to the body `{` or a `;` (trait decl).
+                let mut j = i + 1;
+                let mut body: Option<&Node> = None;
+                while j < nodes.len() {
+                    match &nodes[j] {
+                        Node::Tok(t2) if sig[*t2].text == ";" => break,
+                        Node::Tok(_) => j += 1,
+                        Node::Group(g) if g.open == '{' => {
+                            body = Some(&nodes[j]);
+                            break;
+                        }
+                        Node::Group(_) => j += 1,
+                    }
+                }
+                if let Some(Node::Group(g)) = body {
+                    let governed = name.ends_with("_governed") && !name.starts_with("par_");
+                    if governed && !flow::mentions(&g.children, sig, &satisfies_span) {
+                        out.push((line, name.to_string()));
+                    }
+                    // Recurse for nested fns regardless of the name.
+                    scan_governed_fns(&g.children, sig, out);
+                }
+                i = j + 1;
+            }
+            Node::Tok(_) => i += 1,
+            Node::Group(g) => {
+                scan_governed_fns(&g.children, sig, out);
+                i += 1;
+            }
+        }
     }
 }
 

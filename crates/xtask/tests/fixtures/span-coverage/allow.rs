@@ -1,0 +1,6 @@
+// Golden fixture: suppression for a micro-stage too small to profile.
+
+// sub-microsecond probe, span overhead would dominate; lint: allow(span-coverage)
+fn tiny_probe_governed(token: &CancelToken) -> Result<(), BudgetExceeded> {
+    token.check(Stage::MaxSets)
+}

@@ -1,0 +1,12 @@
+// Golden fixture: governed mining stages that never open an observe
+// span nor delegate to a governed helper that does.
+
+fn agree_scan_governed(rows: &[u32], token: &CancelToken) -> Result<Vec<u32>, BudgetExceeded> {
+    token.check(Stage::AgreeSets)?;
+    Ok(rows.to_vec())
+}
+
+fn fanout_only_governed(rows: &[u32], token: &CancelToken) -> Result<Vec<u32>, BudgetExceeded> {
+    // Fanning out through the runtime is plumbing, not stage delegation.
+    par_map_governed(Parallelism::Auto, token, Stage::MaxSets, rows, |x| Ok(*x))
+}

@@ -76,3 +76,8 @@ fn safety_comment_golden() {
 fn partial_contract_golden() {
     check_rule("partial-contract", LIB_PATH, &[4, 9]);
 }
+
+#[test]
+fn span_coverage_golden() {
+    check_rule("span-coverage", LIB_PATH, &[4, 9]);
+}

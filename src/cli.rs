@@ -20,17 +20,27 @@
 //! per-stage diagnostics, exiting with code **3** (distinct from 1 =
 //! runtime error and 2 = usage error).
 //!
+//! `fds` additionally accepts the observability flags `--profile <out.json>`
+//! (write a span-tree profile of the run and print a phase summary) and
+//! `--trace` (stream enter/exit/counter events as JSONL to stderr), plus
+//! `--algo all` which runs Dep-Miner, TANE and FDEP back to back on one
+//! token so a single profile covers every stage of all three miners.
+//!
 //! All logic lives here (unit-testable against in-memory writers); the
 //! binary in `src/bin/` only forwards `std::env::args`.
 
 use depminer_core::DepMiner;
 use depminer_fdep::Fdep;
 use depminer_fdtheory::{candidate_keys, canonical_cover, is_bcnf, synthesize_3nf};
+use depminer_govern::observe::jsonl::JsonlSink;
+use depminer_govern::observe::profile::ProfileSink;
+use depminer_govern::observe::{Fanout, Obs, Observer};
 use depminer_govern::{Budget, BudgetExceeded, MiningOutcome};
 use depminer_relation::{csv, Relation, SyntheticConfig};
 use depminer_tane::{approximate_fds, approximate_fds_governed, Tane};
 use std::fmt;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// CLI failure: message plus suggested exit code.
@@ -92,6 +102,53 @@ fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
     Ok(Some(budget))
 }
 
+/// Observability sinks requested via `--profile <out.json>` / `--trace`.
+///
+/// The profile sink is kept alongside its output path so the finished
+/// span tree can be exported after mining returns; the trace sink streams
+/// to stderr as events happen and needs no finalization.
+struct ObserveSetup {
+    obs: Obs,
+    profile: Option<(Arc<ProfileSink>, String)>,
+}
+
+fn observe_from_args(args: &Args) -> ObserveSetup {
+    let mut sinks: Vec<Arc<dyn Observer>> = Vec::new();
+    let mut profile = None;
+    if let Some(path) = args.get("profile") {
+        let sink = Arc::new(ProfileSink::new());
+        sinks.push(sink.clone());
+        profile = Some((sink, path.to_string()));
+    }
+    if args.has("trace") {
+        sinks.push(Arc::new(JsonlSink::new(std::io::stderr())));
+    }
+    let obs = if sinks.len() == 1 {
+        Obs::new(sinks.remove(0))
+    } else if sinks.is_empty() {
+        Obs::none()
+    } else {
+        Obs::new(Arc::new(Fanout::new(sinks)))
+    };
+    ObserveSetup { obs, profile }
+}
+
+/// Writes the collected profile (if `--profile` was given) and prints the
+/// rendered phase summary as `#`-prefixed comment lines.
+fn finish_observe(setup: &ObserveSetup, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    if let Some((sink, path)) = &setup.profile {
+        let profile = sink.snapshot();
+        std::fs::write(path, profile.to_json())
+            .map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "# profile written to {path}").map_err(io)?;
+        for line in profile.render_text().lines() {
+            writeln!(out, "# {line}").map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
 /// Prints per-stage diagnostics for an interrupted run and converts the
 /// trip into the exit-code-3 error.
 fn report_interrupted<T>(
@@ -112,7 +169,7 @@ const USAGE: &str = "\
 depminer — functional-dependency discovery and Armstrong relations (EDBT 2000)
 
 USAGE:
-    depminer fds [--algo depminer|depminer2|tane|fdep|naive] [--save <fds.txt>] <file.csv>
+    depminer fds [--algo depminer|depminer2|tane|fdep|naive|all] [--save <fds.txt>] <file.csv>
     depminer armstrong [--synthetic] [--output <out.csv>] <file.csv>
     depminer keys <file.csv>
     depminer approx --epsilon <e> <file.csv>
@@ -130,6 +187,12 @@ BUDGETS:
     When the budget runs out the valid partial result and per-stage
     diagnostics are printed and the process exits with code 3.
 
+OBSERVABILITY:
+    fds accepts --profile <out.json> (write a span-tree profile with phase
+    timings and counters, plus a rendered summary) and --trace (stream
+    enter/exit/counter events as JSONL to stderr). --algo all mines with
+    Dep-Miner, TANE and FDEP on one token so the profile covers all three.
+
 FD FILE FORMAT (design / prove):
     attributes: city street zip
     city street -> zip
@@ -143,7 +206,7 @@ struct Args {
 }
 
 /// Flags that take no value, per subcommand namespace.
-const BOOLEAN_FLAGS: &[&str] = &["synthetic"];
+const BOOLEAN_FLAGS: &[&str] = &["synthetic", "trace"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, CliError> {
@@ -233,24 +296,63 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
+/// Runs `--algo all`: Dep-Miner, TANE and FDEP back to back on one token,
+/// so their spans land in one profile. On a fully complete run the three
+/// miners must agree (they compute the same minimal cover); the merged
+/// outcome carries every stage report.
+fn mine_all(
+    r: &Relation,
+    token: &depminer_govern::CancelToken,
+) -> Result<MiningOutcome<Vec<depminer_fdtheory::Fd>>, CliError> {
+    let dm = DepMiner::new().mine_with_token(r, token);
+    let tane = Tane::new().run_with_token(r, token);
+    let fdep = Fdep::new().run_with_token(r, token);
+    let complete = dm.is_complete() && tane.is_complete() && fdep.is_complete();
+    if complete && (dm.result.fds != tane.result.fds || tane.result.fds != fdep.result.fds) {
+        return Err(run_err(
+            "internal error: Dep-Miner, TANE and FDEP disagree on the minimal cover",
+        ));
+    }
+    let why = dm
+        .interrupted
+        .clone()
+        .or_else(|| tane.interrupted.clone())
+        .or_else(|| fdep.interrupted.clone());
+    let mut stages = dm.stages;
+    stages.extend(tane.stages);
+    stages.extend(fdep.stages);
+    Ok(match why {
+        Some(why) => MiningOutcome::partial(dm.result.fds, why, stages),
+        None => MiningOutcome::complete(dm.result.fds, stages),
+    })
+}
+
 fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
     let r = load(args.single_file()?)?;
     let algo = args.get("algo").unwrap_or("depminer");
-    if let Some(budget) = budget_from_args(args)? {
+    let observe = observe_from_args(args);
+    let budget = budget_from_args(args)?;
+    // A budget, an observer or the all-miners mode each need a live token,
+    // so any of them routes through the governed path.
+    if budget.is_some() || observe.obs.enabled() || algo == "all" {
+        let token = budget
+            .unwrap_or_else(Budget::unlimited)
+            .start_observed(observe.obs.clone());
         let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo {
             "depminer" => DepMiner::algorithm_2(None)
-                .mine_governed(&r, &budget)
+                .mine_with_token(&r, &token)
                 .map(|res| res.fds),
             "depminer2" => DepMiner::algorithm_3()
-                .mine_governed(&r, &budget)
+                .mine_with_token(&r, &token)
                 .map(|res| res.fds),
-            "tane" => Tane::new().run_governed(&r, &budget).map(|res| res.fds),
-            "fdep" => Fdep::new().run_governed(&r, &budget).map(|res| res.fds),
+            "tane" => Tane::new().run_with_token(&r, &token).map(|res| res.fds),
+            "fdep" => Fdep::new().run_with_token(&r, &token).map(|res| res.fds),
+            "all" => mine_all(&r, &token)?,
             other => {
                 return Err(usage_err(format!(
-                    "--timeout/--max-couples are not supported with --algo {other}"
-                )))
+                "--timeout/--max-couples/--profile/--trace are not supported with --algo {other}"
+            )))
             }
         };
         writeln!(
@@ -271,13 +373,19 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
         }
         if let Some(why) = outcome.interrupted.clone() {
-            return Err(report_interrupted(&outcome, &why, out));
+            let err = report_interrupted(&outcome, &why, out);
+            // Even an interrupted run exports its (partial) profile: the
+            // span tree up to the trip is exactly what a user diagnosing a
+            // budget blowout wants to see.
+            finish_observe(&observe, out)?;
+            return Err(err);
         }
         if let Some(path) = args.get("save") {
             let text = depminer_fdtheory::fdfile::render(r.schema(), &outcome.result);
             std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
             writeln!(out, "# saved FD file to {path}").map_err(io)?;
         }
+        finish_observe(&observe, out)?;
         return Ok(());
     }
     let fds = match algo {
@@ -1007,6 +1115,70 @@ zip -> city
                 .code,
             2
         );
+    }
+
+    #[test]
+    fn fds_algo_all_agrees_with_single_miners() {
+        let path = tmp_csv("all_algo.csv", ZIP_CSV);
+        let out = run_cli(&["fds", "--algo", "all", &path]).unwrap();
+        assert!(out.contains("zip -> city"), "{out}");
+        assert!(out.contains("algo = all"), "{out}");
+        assert!(!out.contains("PARTIAL"), "{out}");
+    }
+
+    #[test]
+    fn profile_flag_writes_validating_span_tree() {
+        let path = tmp_csv("profile_in.csv", ZIP_CSV);
+        let profile_out = tmp_csv("profile_out.json", "");
+        let out = run_cli(&["fds", "--algo", "all", "--profile", &profile_out, &path]).unwrap();
+        assert!(out.contains("profile written to"), "{out}");
+        let text = std::fs::read_to_string(&profile_out).unwrap();
+        // Every stage of all three miners shows up and the tree validates.
+        let required = [
+            "depminer",
+            "agree-sets",
+            "max-sets",
+            "transversals",
+            "tane",
+            "tane-levels",
+            "fdep",
+            "negative-cover",
+            "fdep-inversion",
+        ];
+        let names =
+            depminer_govern::observe::profile::validate_profile_json(&text, &required).unwrap();
+        assert!(names.contains(&"agree-sets".to_string()));
+        // Counters made it into the export.
+        assert!(text.contains("fd_emissions"), "{text}");
+        assert!(text.contains("couples_scanned"), "{text}");
+    }
+
+    #[test]
+    fn profile_with_single_algo_covers_its_stages() {
+        let path = tmp_csv("profile_single.csv", ZIP_CSV);
+        let profile_out = tmp_csv("profile_single_out.json", "");
+        run_cli(&["fds", "--profile", &profile_out, &path]).unwrap();
+        let text = std::fs::read_to_string(&profile_out).unwrap();
+        let required = ["depminer", "agree-sets", "max-sets", "transversals"];
+        depminer_govern::observe::profile::validate_profile_json(&text, &required).unwrap();
+    }
+
+    #[test]
+    fn trace_flag_is_boolean_and_accepted() {
+        // --trace streams to stderr (not captured here); the command must
+        // still succeed and --trace must not swallow the file positional.
+        let path = tmp_csv("trace_in.csv", ZIP_CSV);
+        let out = run_cli(&["fds", "--trace", &path]).unwrap();
+        assert!(out.contains("zip -> city"), "{out}");
+    }
+
+    #[test]
+    fn profile_rejected_for_naive_algo() {
+        let path = tmp_csv("profile_naive.csv", ZIP_CSV);
+        let profile_out = tmp_csv("profile_naive_out.json", "");
+        let err =
+            run_cli(&["fds", "--algo", "naive", "--profile", &profile_out, &path]).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]
