@@ -56,4 +56,19 @@ cargo run --release -q -p depminer-bench --bin govern_overhead -- --rows 20000 -
 echo "==> observability overhead benchmark -> BENCH_observe.json"
 cargo run --release -q -p depminer-bench --bin observe_overhead -- --rows 20000 --reps 5
 
+echo "==> layout benchmark smoke -> target/BENCH_layout_smoke.json"
+# Small workload, single rep: the full 20x20000 comparison is the
+# checked-in BENCH_layout.json; here we only prove the nested-vs-flat
+# harness still runs (it asserts FD and product-count equality between
+# the layouts internally) and emits a well-formed summary.
+cargo run --release -q -p depminer-bench --bin layout -- \
+    --attrs 10 --rows 2000 --reps 1 --out target/BENCH_layout_smoke.json
+for key in git_rev workload results layout wall_s peak_partition_bytes \
+    arena_high_water_bytes improvement peak_memory_pct; do
+    if ! grep -q "\"$key\"" target/BENCH_layout_smoke.json; then
+        echo "ci.sh: BENCH_layout_smoke.json is missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "ci.sh: all gates green"

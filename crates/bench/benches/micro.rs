@@ -6,7 +6,8 @@ use depminer_bench::harness::{BenchmarkId, Criterion};
 use depminer_bench::{criterion_group, criterion_main};
 use depminer_fdtheory::{closure, Fd};
 use depminer_relation::{
-    AttrSet, ProductScratch, StrippedPartition, StrippedPartitionDb, SyntheticConfig,
+    AttrSet, FlatPartition, PartitionArena, ProductScratch, StrippedPartition, StrippedPartitionDb,
+    SyntheticConfig,
 };
 use depminer_tane::g3_error;
 
@@ -33,6 +34,21 @@ fn partitions(c: &mut Criterion) {
             |b, (p0, p1)| {
                 let mut scratch = ProductScratch::new(n_rows);
                 b.iter(|| p0.product_with(p1, &mut scratch))
+            },
+        );
+        let f0 = FlatPartition::for_attribute(&r, 0);
+        let f1 = FlatPartition::for_attribute(&r, 1);
+        group.bench_with_input(
+            BenchmarkId::new("flat_partition_product", n_rows),
+            &(&f0, &f1),
+            |b, (f0, f1)| {
+                let mut arena = PartitionArena::new(n_rows);
+                b.iter(|| {
+                    let p = f0.product_with(f1, &mut arena);
+                    let nc = p.num_classes();
+                    arena.recycle(p);
+                    nc
+                })
             },
         );
         let db = StrippedPartitionDb::from_relation(&r);
@@ -69,8 +85,8 @@ fn g3(c: &mut Criterion) {
     }
     .generate()
     .expect("valid config");
-    let px = StrippedPartition::for_attribute(&r, 0);
-    let pxa = px.product(&StrippedPartition::for_attribute(&r, 1));
+    let px = FlatPartition::for_attribute(&r, 0);
+    let pxa = px.product(&FlatPartition::for_attribute(&r, 1));
     group.bench_function("g3_error_10k", |b| {
         let mut labels = vec![u32::MAX; r.len()];
         b.iter(|| g3_error(&px, &pxa, r.len(), &mut labels))

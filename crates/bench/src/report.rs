@@ -26,6 +26,11 @@ pub struct RunStamp {
     /// checkout.
     pub git_rev: String,
     /// Hardware parallelism actually available on the host.
+    ///
+    /// Readers must treat multi-thread speedup tables produced where
+    /// this is `1` as invalid: the sweep measured scheduling overhead
+    /// on one CPU, not parallel speedup. Same-thread-count comparisons
+    /// (e.g. the `layout` bench's nested-vs-flat ratio) stay valid.
     pub host_cpus: usize,
     /// Free-form thread configuration of the run, e.g. `"sequential"`
     /// or `"1,2,4,8"`.

@@ -442,6 +442,21 @@ impl CancelToken {
         self.check(stage)
     }
 
+    /// `true` when reserving `bytes` more tracked memory *would* trip the
+    /// memory budget — without reserving anything or tripping.
+    ///
+    /// This is the eviction hook for memory-bounded caches (TANE's
+    /// partition cache): instead of letting [`CancelToken::reserve_memory`]
+    /// abort the level, a caller first asks whether the reservation fits,
+    /// evicts reclaimable storage until it does, and only then reserves —
+    /// so the budget trips only on genuine exhaustion. Always `false` on
+    /// an unlimited budget. Advisory under concurrency: a racing reserve
+    /// can still push the follow-up reservation over the cap.
+    pub fn memory_would_trip(&self, bytes: u64) -> bool {
+        let cur = self.state.memory.load(Ordering::Relaxed);
+        cur.saturating_add(bytes) > self.state.max_memory
+    }
+
     /// Returns `bytes` of tracked memory to the budget.
     pub fn release_memory(&self, bytes: u64) {
         // Saturating: a release racing a reserve can transiently see less
@@ -739,6 +754,22 @@ mod tests {
         // Release never underflows.
         token.release_memory(u64::MAX);
         assert_eq!(token.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_would_trip_is_advisory_and_side_effect_free() {
+        let token = Budget::unlimited().with_max_memory_bytes(1000).start();
+        assert!(!token.memory_would_trip(1000));
+        assert!(token.memory_would_trip(1001));
+        // The query reserved nothing and did not cancel the token.
+        assert_eq!(token.memory_bytes(), 0);
+        assert!(!token.is_cancelled());
+        token.reserve_memory(900, Stage::TaneLevels).unwrap();
+        assert!(token.memory_would_trip(101));
+        assert!(!token.memory_would_trip(100));
+        // Unlimited budgets never report pressure, even at u64::MAX.
+        let unlimited = Budget::unlimited().start();
+        assert!(!unlimited.memory_would_trip(u64::MAX));
     }
 
     #[test]

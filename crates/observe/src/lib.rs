@@ -119,16 +119,29 @@ pub enum Counter {
     MaxsetFilterPasses,
     /// Minimal FDs emitted across all miners.
     FdEmissions,
+    /// High-water bytes held by `PartitionArena` scratch + recycling
+    /// pools (flat partition products). Reported as monotone deltas, so
+    /// the exported value is the peak.
+    ArenaHighWaterBytes,
+    /// Partitions evicted early from TANE's memory-bounded level cache
+    /// because a `govern` memory cap would otherwise trip.
+    PartitionCacheEvictions,
+    /// Partition products computed allocation-free against a reusable
+    /// arena (the flat CSR fast path).
+    ProductsInPlace,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 8] = [
         Counter::CouplesScanned,
         Counter::PartitionProducts,
         Counter::AprioriCandidates,
         Counter::MaxsetFilterPasses,
         Counter::FdEmissions,
+        Counter::ArenaHighWaterBytes,
+        Counter::PartitionCacheEvictions,
+        Counter::ProductsInPlace,
     ];
 
     /// Number of counters (sizing arrays of atomic slots).
@@ -142,6 +155,9 @@ impl Counter {
             Counter::AprioriCandidates => "apriori_candidates",
             Counter::MaxsetFilterPasses => "maxset_filter_passes",
             Counter::FdEmissions => "fd_emissions",
+            Counter::ArenaHighWaterBytes => "arena_high_water_bytes",
+            Counter::PartitionCacheEvictions => "partition_cache_evictions",
+            Counter::ProductsInPlace => "products_in_place",
         }
     }
 
@@ -153,6 +169,9 @@ impl Counter {
             Counter::AprioriCandidates => 2,
             Counter::MaxsetFilterPasses => 3,
             Counter::FdEmissions => 4,
+            Counter::ArenaHighWaterBytes => 5,
+            Counter::PartitionCacheEvictions => 6,
+            Counter::ProductsInPlace => 7,
         }
     }
 }
@@ -458,6 +477,6 @@ mod tests {
             assert_eq!(c.index(), i);
             assert!(!c.name().is_empty());
         }
-        assert_eq!(Counter::COUNT, 5);
+        assert_eq!(Counter::COUNT, 8);
     }
 }

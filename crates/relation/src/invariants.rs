@@ -15,7 +15,7 @@
 //! `depminer-hypergraph`, and the end-to-end `MiningResult::audit`.
 
 use crate::attrset::AttrSet;
-use crate::partition::{Partition, StrippedPartition};
+use crate::partition::{FlatPartition, Partition, StrippedPartition};
 use crate::relation::Relation;
 use crate::spdb::StrippedPartitionDb;
 use std::fmt;
@@ -145,6 +145,58 @@ impl StrippedPartition {
     }
 }
 
+impl FlatPartition {
+    /// Audits a flat stripped partition: well-formed CSR extents
+    /// (`offsets[0] == 0`, monotone, last offset equals the payload
+    /// length), every class has ≥ 2 tuples sorted ascending, classes are
+    /// pairwise disjoint, and tuple ids are `< n_rows`.
+    pub fn validate(&self) -> Result<(), InvariantError> {
+        let err = |d: String| Err(InvariantError::new("FlatPartition", d));
+        let offsets = self.offsets();
+        let rows = self.rows();
+        let n_rows = self.n_rows();
+        if offsets.first() != Some(&0) {
+            return err(format!(
+                "offsets must start at 0, got {:?}",
+                offsets.first()
+            ));
+        }
+        if offsets.last().copied() != Some(rows.len() as u32) {
+            return err(format!(
+                "last offset {:?} != payload length {}",
+                offsets.last(),
+                rows.len()
+            ));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return err("offsets are not monotone non-decreasing".to_string());
+        }
+        let mut seen = vec![false; n_rows];
+        for (i, class) in self.classes().enumerate() {
+            if class.len() < 2 {
+                return err(format!(
+                    "stripped class {i} has {} tuple(s); classes must have >= 2",
+                    class.len()
+                ));
+            }
+            if !class.windows(2).all(|w| w[0] < w[1]) {
+                return err(format!("class {i} is not sorted ascending: {class:?}"));
+            }
+            for &t in class {
+                let t = t as usize;
+                if t >= n_rows {
+                    return err(format!("tuple id {t} out of range for |r| = {n_rows}"));
+                }
+                if seen[t] {
+                    return err(format!("tuple id {t} appears in two classes"));
+                }
+                seen[t] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl StrippedPartitionDb {
     /// Audits internal consistency: one structurally valid stripped
     /// partition per schema attribute, all over the same `n_rows`.
@@ -197,7 +249,7 @@ impl StrippedPartitionDb {
         self.validate()?;
         for a in 0..r.arity() {
             let fresh = StrippedPartition::for_attribute(r, a);
-            if normalized(self.partition(a)) != normalized(&fresh) {
+            if normalized(&self.partition(a).to_nested()) != normalized(&fresh) {
                 return err(format!(
                     "partition for attribute {a} disagrees with one recomputed from the relation"
                 ));
@@ -307,6 +359,39 @@ mod tests {
         let corrupt = sp.with_total_for_test(5);
         let e = corrupt.validate().unwrap_err();
         assert!(e.detail.contains("cached total"), "{e}");
+    }
+
+    #[test]
+    fn flat_partition_validates_and_rejects_corruption() {
+        let r = datasets::employee();
+        for a in 0..r.arity() {
+            FlatPartition::for_attribute(&r, a).validate().unwrap();
+        }
+        // Singleton class.
+        let e = FlatPartition::from_raw_parts_unchecked(vec![0, 1, 2], vec![0, 2, 3], 4)
+            .validate()
+            .unwrap_err();
+        assert!(e.detail.contains(">= 2"), "{e}");
+        // Overlapping classes.
+        let e = FlatPartition::from_raw_parts_unchecked(vec![0, 1, 1, 2], vec![0, 2, 4], 4)
+            .validate()
+            .unwrap_err();
+        assert!(e.detail.contains("two classes"), "{e}");
+        // Unsorted members.
+        let e = FlatPartition::from_raw_parts_unchecked(vec![1, 0], vec![0, 2], 4)
+            .validate()
+            .unwrap_err();
+        assert!(e.detail.contains("ascending"), "{e}");
+        // Extents not covering the payload.
+        let e = FlatPartition::from_raw_parts_unchecked(vec![0, 1], vec![0], 4)
+            .validate()
+            .unwrap_err();
+        assert!(e.detail.contains("payload"), "{e}");
+        // Out-of-range tuple id.
+        let e = FlatPartition::from_raw_parts_unchecked(vec![0, 9], vec![0, 2], 4)
+            .validate()
+            .unwrap_err();
+        assert!(e.detail.contains("out of range"), "{e}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   O(1) value equality;
 //! * [`Partition`], [`StrippedPartition`] — partitions `π_X` and stripped
 //!   partitions `π̂_X`, including the linear partition product used by TANE;
+//! * [`FlatPartition`], [`PartitionArena`] — the flat CSR hot-path form of
+//!   stripped partitions and the reusable arena that makes its product
+//!   allocation-free;
 //! * [`StrippedPartitionDb`] — the stripped partition database `r̂` (§3.1)
 //!   together with the maximal-class set `MC` and the identifier sets
 //!   `ec(t)` that power the paper's two agree-set algorithms;
@@ -45,11 +48,11 @@ pub use error::RelationError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use generator::{benchmark_cell, SyntheticConfig};
 pub use invariants::InvariantError;
-pub use partition::{Partition, ProductScratch, StrippedPartition};
+pub use partition::{FlatPartition, Partition, PartitionArena, ProductScratch, StrippedPartition};
 pub use prng::Prng;
 pub use relation::{Column, Relation};
 pub use sample::sample;
 pub use schema::Schema;
-pub use spdb::StrippedPartitionDb;
+pub use spdb::{EquivalenceClassIds, StrippedPartitionDb};
 pub use stats::{column_stats, render_stats, ColumnStats};
 pub use value::Value;

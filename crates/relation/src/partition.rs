@@ -20,6 +20,7 @@ use crate::relation::Relation;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// Equivalence classes; each class lists tuple ids in ascending order.
+    // lint: allow(nested-alloc) -- pedagogical boundary type, not a hot path
     pub classes: Vec<Vec<u32>>,
 }
 
@@ -27,6 +28,7 @@ impl Partition {
     /// Computes `π_A` for a single attribute.
     pub fn for_attribute(r: &Relation, a: usize) -> Partition {
         let col = r.column(a);
+        // lint: allow(nested-alloc) -- construction boundary (pedagogical form)
         let mut classes: Vec<Vec<u32>> = vec![Vec::new(); col.distinct_count()];
         for (t, &code) in col.codes().iter().enumerate() {
             classes[code as usize].push(t as u32);
@@ -44,6 +46,7 @@ impl Partition {
             let key: Vec<u32> = cols.iter().map(|c| c[t]).collect();
             groups.entry(key).or_default().push(t as u32);
         }
+        // lint: allow(nested-alloc) -- construction boundary (pedagogical form)
         let mut classes: Vec<Vec<u32>> = groups.into_values().collect();
         classes.sort_unstable_by_key(|c| c.first().copied());
         Partition { classes }
@@ -51,6 +54,7 @@ impl Partition {
 
     /// Drops singleton classes, yielding the stripped partition `π̂_X`.
     pub fn strip(self, n_rows: usize) -> StrippedPartition {
+        // lint: allow(nested-alloc) -- construction boundary (pedagogical form)
         let classes: Vec<Vec<u32>> = self.classes.into_iter().filter(|c| c.len() > 1).collect();
         StrippedPartition::from_classes(classes, n_rows)
     }
@@ -64,6 +68,7 @@ impl Partition {
 /// A stripped partition `π̂_X`: only classes of size ≥ 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrippedPartition {
+    // lint: allow(nested-alloc) -- nested boundary form; hot paths use FlatPartition
     classes: Vec<Vec<u32>>,
     /// `||π̂_X||`: total number of tuples across classes.
     total: usize,
@@ -77,6 +82,7 @@ impl StrippedPartition {
     ///
     /// Callers must guarantee every class has ≥ 2 tuples and tuple ids are
     /// unique and `< n_rows`; debug builds assert this.
+    // lint: allow(nested-alloc) -- boundary constructor taking the nested form
     pub fn from_classes(classes: Vec<Vec<u32>>, n_rows: usize) -> Self {
         debug_assert!(classes.iter().all(|c| c.len() > 1));
         debug_assert!(classes.iter().flatten().all(|&t| (t as usize) < n_rows));
@@ -94,6 +100,7 @@ impl StrippedPartition {
     /// prove the [`StrippedPartition::validate`] audit rejects them; never
     /// use it on real data paths.
     #[doc(hidden)]
+    // lint: allow(nested-alloc) -- test-only corrupted-partition constructor
     pub fn from_classes_unchecked(classes: Vec<Vec<u32>>, n_rows: usize) -> Self {
         let total = classes.iter().map(Vec::len).sum();
         StrippedPartition {
@@ -187,6 +194,7 @@ impl StrippedPartition {
         );
         scratch.ensure(self.n_rows);
         let probe = &mut scratch.probe;
+        // lint: allow(nested-alloc) -- nested reference product; hot paths use FlatPartition::product_with
         let mut new_classes: Vec<Vec<u32>> = Vec::new();
         // Step 1: label every tuple of `self` with its class id.
         for (cid, class) in self.classes.iter().enumerate() {
@@ -251,6 +259,410 @@ impl ProductScratch {
     fn ensure(&mut self, n_rows: usize) {
         if self.probe.len() < n_rows {
             self.probe.resize(n_rows, u32::MAX);
+        }
+    }
+}
+
+/// A stripped partition `π̂_X` in flat CSR form: one contiguous `rows`
+/// buffer holding every class member, plus an `offsets` array delimiting
+/// classes (`offsets.len() == num_classes + 1`, `offsets[0] == 0`).
+///
+/// This is the hot-path representation: one heap allocation per partition
+/// instead of one per class, sequential scans instead of pointer chasing,
+/// and [`FlatPartition::product_with`] runs allocation-free against a
+/// reusable [`PartitionArena`]. The nested [`StrippedPartition`] remains
+/// the construction/test boundary form; [`FlatPartition::from_nested`] /
+/// [`FlatPartition::to_nested`] convert between them.
+///
+/// Invariants (audited by `validate` when invariant audits are enabled):
+/// every class has ≥ 2 members listed in ascending tuple-id order, classes
+/// are disjoint, and all ids are `< n_rows`. All construction paths in
+/// this crate additionally order classes by first tuple id ascending,
+/// matching the nested product's deterministic ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatPartition {
+    rows: Vec<u32>,
+    /// Class `i` spans `rows[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    n_rows: usize,
+}
+
+impl FlatPartition {
+    /// Converts a nested stripped partition, preserving class order.
+    pub fn from_nested(p: &StrippedPartition) -> Self {
+        let mut rows = Vec::with_capacity(p.total_tuples());
+        let mut offsets = Vec::with_capacity(p.num_classes() + 1);
+        offsets.push(0);
+        for class in p.classes() {
+            rows.extend_from_slice(class);
+            offsets.push(rows.len() as u32);
+        }
+        FlatPartition {
+            rows,
+            offsets,
+            n_rows: p.n_rows(),
+        }
+    }
+
+    /// Converts back to the nested boundary form, preserving class order.
+    pub fn to_nested(&self) -> StrippedPartition {
+        StrippedPartition::from_classes(self.classes().map(<[u32]>::to_vec).collect(), self.n_rows)
+    }
+
+    /// Computes `π̂_A` for a single attribute directly from the column
+    /// codes via a two-pass counting sort: no intermediate nested form,
+    /// no per-class allocation. Class order is code order, which equals
+    /// ascending first-tuple order (codes are assigned in first-occurrence
+    /// order by the dictionary encoder).
+    pub fn for_attribute(r: &Relation, a: usize) -> Self {
+        let col = r.column(a);
+        let codes = col.codes();
+        let mut count = vec![0u32; col.distinct_count()];
+        for &c in codes {
+            count[c as usize] += 1;
+        }
+        // Kept classes (size ≥ 2) get their extent start; singletons are
+        // marked dropped with the `u32::MAX` sentinel.
+        let mut offsets = Vec::new();
+        offsets.push(0u32);
+        let mut cursor = count.clone();
+        let mut acc = 0u32;
+        for slot in cursor.iter_mut() {
+            let ct = *slot;
+            if ct >= 2 {
+                *slot = acc;
+                acc += ct;
+                offsets.push(acc);
+            } else {
+                *slot = u32::MAX;
+            }
+        }
+        let mut rows = vec![0u32; acc as usize];
+        for (t, &code) in codes.iter().enumerate() {
+            let slot = &mut cursor[code as usize];
+            if *slot != u32::MAX {
+                rows[*slot as usize] = t as u32;
+                *slot += 1;
+            }
+        }
+        FlatPartition {
+            rows,
+            offsets,
+            n_rows: r.len(),
+        }
+    }
+
+    /// Computes `π̂_X` for an attribute set (construction boundary: built
+    /// nested, then flattened).
+    pub fn for_set(r: &Relation, x: AttrSet) -> Self {
+        FlatPartition::from_nested(&StrippedPartition::for_set(r, x))
+    }
+
+    /// Builds a flat partition from raw CSR parts **without** validation.
+    ///
+    /// Exists so tests can construct deliberately corrupted partitions and
+    /// prove the [`FlatPartition::validate`] audit rejects them; never use
+    /// it on real data paths.
+    #[doc(hidden)]
+    pub fn from_raw_parts_unchecked(rows: Vec<u32>, offsets: Vec<u32>, n_rows: usize) -> Self {
+        FlatPartition {
+            rows,
+            offsets,
+            n_rows,
+        }
+    }
+
+    /// The members of class `i`, in ascending tuple-id order.
+    #[inline]
+    pub fn class(&self, i: usize) -> &[u32] {
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates the stripped classes as slices, in stored order.
+    #[inline]
+    pub fn classes(&self) -> impl ExactSizeIterator<Item = &[u32]> + Clone + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.rows[w[0] as usize..w[1] as usize])
+    }
+
+    /// The concatenated class members (CSR payload).
+    #[inline]
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The class-extent offsets (`num_classes + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Number of stripped classes, `|π̂_X|`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `||π̂_X||`: number of tuples covered by stripped classes.
+    #[inline]
+    pub fn total_tuples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The relation size this partition was derived from.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of classes of the *unstripped* partition `|π_X|`.
+    #[inline]
+    pub fn full_num_classes(&self) -> usize {
+        self.num_classes() + (self.n_rows - self.total_tuples())
+    }
+
+    /// TANE's partition error `e(X) = (||π̂_X|| - |π̂_X|) / |r|` (see
+    /// [`StrippedPartition::error`]).
+    pub fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.total_tuples() - self.num_classes()) as f64 / self.n_rows as f64
+    }
+
+    /// `true` iff `π̂_X` is empty, i.e. `X` is a superkey.
+    #[inline]
+    pub fn is_superkey(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Payload heap bytes of this partition (`rows` + `offsets`), the
+    /// quantity charged against `govern` memory budgets.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        (self.rows.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// The product `π̂_X · π̂_Y = π̂_{X∪Y}` via the linear probe-table
+    /// algorithm, allocation-free in steady state: all grouping scratch
+    /// lives in `arena`, and the output buffers are drawn from the arena's
+    /// recycling pool when available.
+    ///
+    /// The result is byte-for-byte identical to the nested
+    /// [`StrippedPartition::product_with`] (classes ordered by first tuple
+    /// id; members ascending), so flat and nested pipelines agree exactly.
+    pub fn product_with(&self, other: &FlatPartition, arena: &mut PartitionArena) -> FlatPartition {
+        assert_eq!(
+            self.n_rows, other.n_rows,
+            "partitions over different relations"
+        );
+        arena.ensure(self.n_rows, self.num_classes());
+        {
+            let PartitionArena {
+                probe,
+                count,
+                cursor,
+                touched,
+                emit,
+                index,
+                ..
+            } = &mut *arena;
+            // Step 1: label every tuple of `self` with its class id.
+            for (cid, class) in self.classes().enumerate() {
+                for &t in class {
+                    probe[t as usize] = cid as u32;
+                }
+            }
+            // Step 2: within each class of `other`, group tuples by their
+            // `self`-class label. Counting pass sizes each group's extent
+            // in `emit`; placement pass fills it in ascending order (the
+            // source class is ascending). Groups of size ≥ 2 become
+            // product classes, recorded in `index` as
+            // (first member, extent start, len).
+            emit.clear();
+            index.clear();
+            for class in other.classes() {
+                touched.clear();
+                for &t in class {
+                    let label = probe[t as usize];
+                    if label != u32::MAX {
+                        if count[label as usize] == 0 {
+                            touched.push(label);
+                        }
+                        count[label as usize] += 1;
+                    }
+                }
+                let mut base = emit.len() as u32;
+                for &label in touched.iter() {
+                    let ct = count[label as usize];
+                    if ct >= 2 {
+                        cursor[label as usize] = base;
+                        base += ct;
+                    } else {
+                        cursor[label as usize] = u32::MAX;
+                    }
+                }
+                emit.resize(base as usize, 0);
+                for &t in class {
+                    let label = probe[t as usize];
+                    if label == u32::MAX {
+                        continue;
+                    }
+                    let at = cursor[label as usize];
+                    if at != u32::MAX {
+                        emit[at as usize] = t;
+                        cursor[label as usize] = at + 1;
+                    }
+                }
+                for &label in touched.iter() {
+                    let ct = count[label as usize];
+                    count[label as usize] = 0;
+                    if ct >= 2 {
+                        let start = cursor[label as usize] - ct;
+                        index.push((emit[start as usize], start, ct));
+                    }
+                }
+            }
+            // Step 3: restore the probe buffer for the next product.
+            for class in self.classes() {
+                for &t in class {
+                    probe[t as usize] = u32::MAX;
+                }
+            }
+            // Step 4: deterministic ordering — classes are disjoint, so
+            // first members are distinct and the order is total. This is
+            // exactly the nested product's `sort_unstable_by_key(first)`.
+            index.sort_unstable_by_key(|&(first, _, _)| first);
+        }
+        // Step 5: gather into (pooled) output buffers.
+        let (mut rows, mut offsets) = arena.take_buffers();
+        rows.clear();
+        offsets.clear();
+        offsets.push(0);
+        for &(_, start, len) in arena.index.iter() {
+            rows.extend_from_slice(&arena.emit[start as usize..(start + len) as usize]);
+            offsets.push(rows.len() as u32);
+        }
+        let product = FlatPartition {
+            rows,
+            offsets,
+            n_rows: self.n_rows,
+        };
+        arena.note_high_water();
+        if crate::invariants::audits_enabled() {
+            crate::invariants::enforce(product.validate());
+        }
+        product
+    }
+
+    /// Convenience wrapper allocating a fresh arena.
+    pub fn product(&self, other: &FlatPartition) -> FlatPartition {
+        let mut arena = PartitionArena::new(self.n_rows);
+        self.product_with(other, &mut arena)
+    }
+}
+
+/// Reusable per-level workspace for [`FlatPartition::product_with`]: the
+/// probe table (the role [`ProductScratch`] plays for the nested form)
+/// plus grouping scratch and a recycling pool of retired partition
+/// buffers, so steady-state products allocate nothing.
+///
+/// Callers hand partitions they no longer need to
+/// [`PartitionArena::recycle`]; the next product reuses those buffers.
+/// [`PartitionArena::high_water_bytes`] reports the peak bytes ever held
+/// by the scratch + pool, feeding the `arena_high_water_bytes` counter.
+#[derive(Debug)]
+pub struct PartitionArena {
+    /// Tuple → `self`-class label; `u32::MAX` outside stripped classes.
+    probe: Vec<u32>,
+    /// Per-label group size within the current `other` class (zeroed
+    /// after each class).
+    count: Vec<u32>,
+    /// Per-label emit cursor / extent start.
+    cursor: Vec<u32>,
+    /// Labels seen in the current `other` class.
+    touched: Vec<u32>,
+    /// Staging buffer for group members, one extent per kept group.
+    emit: Vec<u32>,
+    /// (first member, extent start, len) per kept group.
+    index: Vec<(u32, u32, u32)>,
+    /// Retired `(rows, offsets)` buffer pairs awaiting reuse.
+    pool: Vec<(Vec<u32>, Vec<u32>)>,
+    pool_bytes: usize,
+    high_water: usize,
+}
+
+impl PartitionArena {
+    /// Creates an arena for relations of up to `n_rows` tuples.
+    pub fn new(n_rows: usize) -> Self {
+        PartitionArena {
+            probe: vec![u32::MAX; n_rows],
+            count: Vec::new(),
+            cursor: Vec::new(),
+            touched: Vec::new(),
+            emit: Vec::new(),
+            index: Vec::new(),
+            pool: Vec::new(),
+            pool_bytes: 0,
+            high_water: 0,
+        }
+    }
+
+    fn ensure(&mut self, n_rows: usize, labels: usize) {
+        if self.probe.len() < n_rows {
+            self.probe.resize(n_rows, u32::MAX);
+        }
+        if self.count.len() < labels {
+            // `count` stays all-zero between products, so growing with
+            // zero fill preserves the invariant.
+            self.count.resize(labels, 0);
+            self.cursor.resize(labels, 0);
+        }
+    }
+
+    /// Returns a retired partition's buffers to the pool for reuse by a
+    /// later product. Dropping the partition instead is always safe —
+    /// recycling only saves the reallocation.
+    pub fn recycle(&mut self, p: FlatPartition) {
+        self.pool_bytes += (p.rows.capacity() + p.offsets.capacity()) * std::mem::size_of::<u32>();
+        self.pool.push((p.rows, p.offsets));
+        self.note_high_water();
+    }
+
+    fn take_buffers(&mut self) -> (Vec<u32>, Vec<u32>) {
+        match self.pool.pop() {
+            Some((rows, offsets)) => {
+                self.pool_bytes = self.pool_bytes.saturating_sub(
+                    (rows.capacity() + offsets.capacity()) * std::mem::size_of::<u32>(),
+                );
+                (rows, offsets)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Bytes currently held by the arena's scratch buffers and pool.
+    pub fn current_bytes(&self) -> usize {
+        let scratch = self.probe.capacity()
+            + self.count.capacity()
+            + self.cursor.capacity()
+            + self.touched.capacity()
+            + self.emit.capacity();
+        scratch * std::mem::size_of::<u32>()
+            + self.index.capacity() * std::mem::size_of::<(u32, u32, u32)>()
+            + self.pool_bytes
+    }
+
+    /// Peak of [`PartitionArena::current_bytes`] over the arena's life.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water
+    }
+
+    fn note_high_water(&mut self) {
+        let now = self.current_bytes();
+        if now > self.high_water {
+            self.high_water = now;
         }
     }
 }
@@ -387,5 +799,70 @@ mod tests {
         let r = crate::relation::Relation::from_columns(schema, vec![vec![1]]).unwrap();
         let p = StrippedPartition::for_set(&r, AttrSet::empty());
         assert!(p.is_superkey());
+    }
+
+    #[test]
+    fn flat_construction_matches_nested_exactly() {
+        let r = datasets::employee();
+        for a in 0..r.arity() {
+            let nested = StrippedPartition::for_attribute(&r, a);
+            let flat = FlatPartition::for_attribute(&r, a);
+            assert_eq!(flat, FlatPartition::from_nested(&nested), "attr {a}");
+            assert_eq!(flat.to_nested(), nested, "attr {a} round trip");
+            assert_eq!(flat.total_tuples(), nested.total_tuples());
+            assert_eq!(flat.num_classes(), nested.num_classes());
+            assert_eq!(flat.full_num_classes(), nested.full_num_classes());
+            assert!((flat.error() - nested.error()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn flat_product_matches_nested_exactly() {
+        let r = datasets::employee();
+        let mut arena = PartitionArena::new(r.len());
+        let mut scratch = ProductScratch::new(r.len());
+        for x in 0..r.arity() {
+            for y in 0..r.arity() {
+                let nx = StrippedPartition::for_attribute(&r, x);
+                let ny = StrippedPartition::for_attribute(&r, y);
+                let fx = FlatPartition::for_attribute(&r, x);
+                let fy = FlatPartition::for_attribute(&r, y);
+                let nested = nx.product_with(&ny, &mut scratch);
+                let flat = fx.product_with(&fy, &mut arena);
+                // Byte-for-byte: same class order, same member order.
+                assert_eq!(flat, FlatPartition::from_nested(&nested), "{x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_recycling_preserves_results() {
+        let r = datasets::employee();
+        let mut arena = PartitionArena::new(r.len());
+        let fb = FlatPartition::for_attribute(&r, 1);
+        let fe = FlatPartition::for_attribute(&r, 4);
+        let first = fb.product_with(&fe, &mut arena);
+        let expected = first.clone();
+        arena.recycle(first);
+        // The recycled buffers back the next product; the value is
+        // unchanged and the arena allocated nothing new.
+        let again = fb.product_with(&fe, &mut arena);
+        assert_eq!(again, expected);
+        assert!(arena.high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn flat_superkey_product_and_empty_set() {
+        let r = datasets::employee();
+        let key = FlatPartition::for_set(&r, AttrSet::from_indices([0, 2]));
+        assert!(key.is_superkey());
+        assert_eq!(key.error(), 0.0);
+        let fb = FlatPartition::for_attribute(&r, 1);
+        assert!(key.product(&fb).is_superkey());
+        assert!(fb.product(&key).is_superkey());
+        let empty = FlatPartition::for_set(&r, AttrSet::empty());
+        assert_eq!(empty.num_classes(), 1);
+        assert_eq!(empty.total_tuples(), r.len());
+        assert_eq!(empty.class(0).len(), r.len());
     }
 }

@@ -4,18 +4,23 @@
 //! the data Dep-Miner needs after pre-processing: "database accesses are only
 //! performed during the computation of agree sets" and the paper shows `r̂`
 //! is informationally equivalent to `r` for FD discovery.
+//!
+//! Partitions are stored in the flat CSR form ([`FlatPartition`]): one
+//! contiguous buffer per attribute instead of one allocation per class. The
+//! nested [`StrippedPartition`](crate::partition::StrippedPartition) form
+//! survives only at construction/test boundaries.
 
 use crate::attrset::AttrSet;
-use crate::partition::StrippedPartition;
+use crate::partition::FlatPartition;
 use crate::relation::Relation;
 use crate::schema::Schema;
 
-/// The stripped partition database `r̂` of a relation: one stripped
+/// The stripped partition database `r̂` of a relation: one flat stripped
 /// partition per attribute, plus the schema and relation size.
 #[derive(Debug, Clone)]
 pub struct StrippedPartitionDb {
     schema: Schema,
-    partitions: Vec<StrippedPartition>,
+    partitions: Vec<FlatPartition>,
     n_rows: usize,
 }
 
@@ -32,7 +37,7 @@ impl StrippedPartitionDb {
     /// the result is identical at every thread count.
     pub fn from_relation_with(r: &Relation, par: depminer_parallel::Parallelism) -> Self {
         let partitions = depminer_parallel::par_map_indexed(par, r.arity(), |a| {
-            StrippedPartition::for_attribute(r, a)
+            FlatPartition::for_attribute(r, a)
         });
         let db = StrippedPartitionDb {
             schema: r.schema().clone(),
@@ -45,13 +50,13 @@ impl StrippedPartitionDb {
         db
     }
 
-    /// Builds a database from pre-computed stripped partitions.
+    /// Builds a database from pre-computed flat stripped partitions.
     ///
     /// # Panics
     ///
     /// Panics if the number of partitions differs from the schema arity or
     /// any partition's `n_rows` disagrees with `n_rows`.
-    pub fn from_parts(schema: Schema, partitions: Vec<StrippedPartition>, n_rows: usize) -> Self {
+    pub fn from_parts(schema: Schema, partitions: Vec<FlatPartition>, n_rows: usize) -> Self {
         assert_eq!(partitions.len(), schema.arity());
         assert!(partitions.iter().all(|p| p.n_rows() == n_rows));
         StrippedPartitionDb {
@@ -81,13 +86,13 @@ impl StrippedPartitionDb {
 
     /// The stripped partition `π̂_A`.
     #[inline]
-    pub fn partition(&self, a: usize) -> &StrippedPartition {
+    pub fn partition(&self, a: usize) -> &FlatPartition {
         &self.partitions[a]
     }
 
     /// All per-attribute stripped partitions in schema order.
     #[inline]
-    pub fn partitions(&self) -> &[StrippedPartition] {
+    pub fn partitions(&self) -> &[FlatPartition] {
         &self.partitions
     }
 
@@ -103,38 +108,64 @@ impl StrippedPartitionDb {
     /// common: e.g. the paper's π̂_B and π̂_D coincide), then sorted by
     /// descending size; a class is kept iff no already-kept class contains
     /// it. Because a tuple belongs to at most `|R|` stripped classes, each
-    /// tuple carries a short sorted list of kept class ids, and domination
-    /// is the intersection of their members' lists — O(|c| · |R|) per class.
+    /// *touched* tuple (one appearing in some stripped class) carries a
+    /// short sorted list of kept class ids in a stride-`|R|` flat buffer,
+    /// and domination is the intersection of its members' lists —
+    /// O(|c| · |R|) per class. Untouched rows cost one `u32` slot, not a
+    /// `Vec` allocation.
+    // lint: allow(nested-alloc) -- Vec<Vec<u32>> is the public MC boundary type
     pub fn maximal_classes(&self) -> Vec<Vec<u32>> {
         use crate::fxhash::FxHashSet;
         // Deduplicate identical classes first.
         let mut uniq: FxHashSet<&[u32]> = FxHashSet::default();
-        let mut classes: Vec<&Vec<u32>> = Vec::new();
+        let mut classes: Vec<&[u32]> = Vec::new();
         for p in &self.partitions {
             for c in p.classes() {
-                if uniq.insert(c.as_slice()) {
+                if uniq.insert(c) {
                     classes.push(c);
                 }
             }
         }
         classes.sort_by_key(|c| std::cmp::Reverse(c.len()));
 
+        // Compact the touched rows (those in at least one stripped class)
+        // into dense slots so the per-tuple kept-id lists are sized by
+        // touched rows only.
+        let mut row_slot: Vec<u32> = vec![u32::MAX; self.n_rows];
+        let mut touched: u32 = 0;
+        for class in &classes {
+            for &t in *class {
+                if row_slot[t as usize] == u32::MAX {
+                    row_slot[t as usize] = touched;
+                    touched += 1;
+                }
+            }
+        }
+        // kept ids (ascending) of kept classes containing each touched
+        // tuple: stride-`arity` extents, since a tuple is in at most one
+        // class per attribute.
+        let arity = self.arity().max(1);
+        let mut kept_len: Vec<u32> = vec![0; touched as usize];
+        let mut kept_ids: Vec<u32> = vec![0; touched as usize * arity];
+
+        // lint: allow(nested-alloc) -- Vec<Vec<u32>> is the public MC boundary type
         let mut kept: Vec<Vec<u32>> = Vec::new();
-        // kept_ids[t]: ids (ascending) of kept classes containing tuple t;
-        // at most |R| entries per tuple.
-        let mut kept_ids: Vec<Vec<u32>> = vec![Vec::new(); self.n_rows];
         let mut acc: Vec<u32> = Vec::new();
         let mut tmp: Vec<u32> = Vec::new();
         for class in classes {
             // Intersect the kept-class id lists of all members; a non-empty
             // result means some kept class contains the whole class.
+            let ids_of = |t: u32, kept_len: &[u32]| -> std::ops::Range<usize> {
+                let slot = row_slot[t as usize] as usize;
+                slot * arity..slot * arity + kept_len[slot] as usize
+            };
             acc.clear();
-            acc.extend_from_slice(&kept_ids[class[0] as usize]);
+            acc.extend_from_slice(&kept_ids[ids_of(class[0], &kept_len)]);
             for &t in &class[1..] {
                 if acc.is_empty() {
                     break;
                 }
-                let other = &kept_ids[t as usize];
+                let other = &kept_ids[ids_of(t, &kept_len)];
                 tmp.clear();
                 let (mut i, mut j) = (0, 0);
                 while i < acc.len() && j < other.len() {
@@ -153,11 +184,14 @@ impl StrippedPartitionDb {
             if acc.is_empty() {
                 let id = kept.len() as u32;
                 for &t in class {
-                    // ids are assigned in increasing order, so pushing keeps
-                    // each list sorted.
-                    kept_ids[t as usize].push(id);
+                    // ids are assigned in increasing order, so appending
+                    // keeps each extent sorted.
+                    let slot = row_slot[t as usize] as usize;
+                    let len = &mut kept_len[slot];
+                    kept_ids[slot * arity + *len as usize] = id;
+                    *len += 1;
                 }
-                kept.push(class.clone());
+                kept.push(class.to_vec());
             }
         }
         // Deterministic output order.
@@ -169,21 +203,41 @@ impl StrippedPartitionDb {
     /// for each tuple `t`, the list of `(attribute, class-index)` pairs of
     /// the stripped classes containing `t`.
     ///
-    /// Returned as one vector per tuple, each sorted by `(attr, class)` so
-    /// that `ec(ti) ∩ ec(tj)` is a linear merge (Lemma 2).
-    pub fn equivalence_class_ids(&self) -> Vec<Vec<(u16, u32)>> {
-        let mut ec: Vec<Vec<(u16, u32)>> = vec![Vec::new(); self.n_rows];
+    /// Returned in flat CSR form ([`EquivalenceClassIds`]); each per-tuple
+    /// slice is sorted by `(attr, class)` so that `ec(ti) ∩ ec(tj)` is a
+    /// linear merge (Lemma 2). Rows outside every stripped class cost one
+    /// offset entry, not an empty `Vec` allocation.
+    pub fn equivalence_class_ids(&self) -> EquivalenceClassIds {
+        // Counting pass: how many identifier pairs does each tuple carry?
+        let mut offsets: Vec<u32> = vec![0; self.n_rows + 1];
+        let mut total = 0usize;
+        for p in &self.partitions {
+            for &t in p.rows() {
+                offsets[t as usize + 1] += 1;
+            }
+            total += p.total_tuples();
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        // Placement pass in ascending (attr, class) order, which makes each
+        // per-tuple slice sorted by construction.
+        let mut cursor: Vec<u32> = offsets[..self.n_rows].to_vec();
+        let mut items: Vec<(u16, u32)> = vec![(0, 0); total];
         for (a, p) in self.partitions.iter().enumerate() {
-            for (i, class) in p.classes().iter().enumerate() {
+            for (i, class) in p.classes().enumerate() {
                 for &t in class {
-                    ec[t as usize].push((a as u16, i as u32));
+                    let at = &mut cursor[t as usize];
+                    items[*at as usize] = (a as u16, i as u32);
+                    *at += 1;
                 }
             }
         }
-        // Built in ascending (attr, class) order already, but make it a
-        // guarantee rather than an accident of iteration order.
-        for v in &mut ec {
-            debug_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let ec = EquivalenceClassIds { items, offsets };
+        if crate::invariants::audits_enabled() {
+            for t in 0..self.n_rows {
+                debug_assert!(ec[t].windows(2).all(|w| w[0] <= w[1]));
+            }
         }
         ec
     }
@@ -208,6 +262,53 @@ impl StrippedPartitionDb {
             }
         }
         s
+    }
+}
+
+/// The identifier sets `ec(t)` for every tuple, in flat CSR form: one
+/// contiguous `(attr, class)` item buffer plus per-tuple offsets
+/// (`offsets.len() == n_rows + 1`). `ec[t]` / [`EquivalenceClassIds::ids`]
+/// yield tuple `t`'s slice, sorted by `(attr, class)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceClassIds {
+    items: Vec<(u16, u32)>,
+    offsets: Vec<u32>,
+}
+
+impl EquivalenceClassIds {
+    /// The identifier set of tuple `t`, sorted by `(attr, class)`.
+    #[inline]
+    pub fn ids(&self, t: usize) -> &[(u16, u32)] {
+        &self.items[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+
+    /// Number of tuples covered (`n_rows` of the source database).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when built over an empty relation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the per-tuple identifier sets in tuple order.
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[(u16, u32)]> + Clone + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.items[w[0] as usize..w[1] as usize])
+    }
+}
+
+impl std::ops::Index<usize> for EquivalenceClassIds {
+    type Output = [(u16, u32)];
+
+    #[inline]
+    fn index(&self, t: usize) -> &[(u16, u32)] {
+        self.ids(t)
     }
 }
 
@@ -330,9 +431,29 @@ mod tests {
         let ec = db.equivalence_class_ids();
         for (t, ids) in ec.iter().enumerate() {
             for &(a, i) in ids {
-                let class = &db.partition(a as usize).classes()[i as usize];
+                let class = db.partition(a as usize).class(i as usize);
                 assert!(class.contains(&(t as u32)));
             }
         }
+    }
+
+    #[test]
+    fn ec_rows_outside_all_classes_are_empty() {
+        let r = datasets::employee();
+        let db = StrippedPartitionDb::from_relation(&r);
+        let ec = db.equivalence_class_ids();
+        assert_eq!(ec.len(), r.len());
+        // Every row of the employee relation is in some stripped class —
+        // build a relation with a unique row to get an empty ec(t).
+        let one_off = crate::relation::Relation::from_columns(
+            crate::schema::Schema::synthetic(2).unwrap(),
+            vec![vec![1, 1, 9], vec![2, 2, 9]],
+        )
+        .unwrap();
+        let db2 = StrippedPartitionDb::from_relation(&one_off);
+        let ec2 = db2.equivalence_class_ids();
+        assert!(ec2[2].is_empty());
+        assert_eq!(ec2[0], ec2[1]);
+        assert!(!ec2[0].is_empty());
     }
 }

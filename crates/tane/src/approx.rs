@@ -17,15 +17,16 @@
 use depminer_fdtheory::{normalize_fds, Fd};
 use depminer_govern::{BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
 use depminer_relation::{
-    AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, StrippedPartition, StrippedPartitionDb,
+    AttrSet, FlatPartition, FxHashMap, FxHashSet, PartitionArena, Relation, StrippedPartitionDb,
 };
+use std::borrow::Cow;
 
 /// Computes `g₃(X → A)` from the stripped partitions of `X` and `X ∪ {A}`.
 ///
 /// `labels` is reusable scratch of length ≥ `n_rows`, reset internally.
 pub fn g3_error(
-    px: &StrippedPartition,
-    pxa: &StrippedPartition,
+    px: &FlatPartition,
+    pxa: &FlatPartition,
     n_rows: usize,
     labels: &mut Vec<u32>,
 ) -> f64 {
@@ -36,7 +37,7 @@ pub fn g3_error(
         labels.resize(n_rows, u32::MAX);
     }
     // Label tuples with their class id in π̂_{X∪A}; singletons keep MAX.
-    for (cid, class) in pxa.classes().iter().enumerate() {
+    for (cid, class) in pxa.classes().enumerate() {
         for &t in class {
             labels[t as usize] = cid as u32;
         }
@@ -67,8 +68,8 @@ pub fn g3_error(
 
 /// Convenience: `g₃(X → A)` straight from a relation.
 pub fn g3_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
-    let px = StrippedPartition::for_set(r, lhs);
-    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let px = FlatPartition::for_set(r, lhs);
+    let pxa = FlatPartition::for_set(r, lhs.with(rhs));
     let mut labels = vec![u32::MAX; r.len()];
     g3_error(&px, &pxa, r.len(), &mut labels)
 }
@@ -81,8 +82,8 @@ pub fn g3_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
 /// unordered pairs are `C(|c|,2) − Σ_g C(|g|,2)` over the `π_{X∪A}`-groups
 /// `g` refining `c`; ordered pairs double that.
 pub fn g1_error(
-    px: &StrippedPartition,
-    pxa: &StrippedPartition,
+    px: &FlatPartition,
+    pxa: &FlatPartition,
     n_rows: usize,
     labels: &mut Vec<u32>,
 ) -> f64 {
@@ -92,7 +93,7 @@ pub fn g1_error(
     if labels.len() < n_rows {
         labels.resize(n_rows, u32::MAX);
     }
-    for (cid, class) in pxa.classes().iter().enumerate() {
+    for (cid, class) in pxa.classes().enumerate() {
         for &t in class {
             labels[t as usize] = cid as u32;
         }
@@ -126,8 +127,8 @@ pub fn g1_error(
 /// A class of `π_X` that splits into ≥ 2 `π_{X∪A}`-groups makes *every* of
 /// its tuples a violator (each has a witness in another group).
 pub fn g2_error(
-    px: &StrippedPartition,
-    pxa: &StrippedPartition,
+    px: &FlatPartition,
+    pxa: &FlatPartition,
     n_rows: usize,
     labels: &mut Vec<u32>,
 ) -> f64 {
@@ -137,7 +138,7 @@ pub fn g2_error(
     if labels.len() < n_rows {
         labels.resize(n_rows, u32::MAX);
     }
-    for (cid, class) in pxa.classes().iter().enumerate() {
+    for (cid, class) in pxa.classes().enumerate() {
         for &t in class {
             labels[t as usize] = cid as u32;
         }
@@ -163,16 +164,16 @@ pub fn g2_error(
 
 /// Convenience: `g₁` straight from a relation.
 pub fn g1_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
-    let px = StrippedPartition::for_set(r, lhs);
-    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let px = FlatPartition::for_set(r, lhs);
+    let pxa = FlatPartition::for_set(r, lhs.with(rhs));
     let mut labels = vec![u32::MAX; r.len()];
     g1_error(&px, &pxa, r.len(), &mut labels)
 }
 
 /// Convenience: `g₂` straight from a relation.
 pub fn g2_error_of(r: &Relation, lhs: AttrSet, rhs: usize) -> f64 {
-    let px = StrippedPartition::for_set(r, lhs);
-    let pxa = StrippedPartition::for_set(r, lhs.with(rhs));
+    let px = FlatPartition::for_set(r, lhs);
+    let pxa = FlatPartition::for_set(r, lhs.with(rhs));
     let mut labels = vec![u32::MAX; r.len()];
     g2_error(&px, &pxa, r.len(), &mut labels)
 }
@@ -219,13 +220,14 @@ pub fn approximate_fds_governed(
     let n_rows = db.n_rows();
     let mut out: Vec<ApproxFd> = Vec::new();
     let mut labels = vec![u32::MAX; n_rows];
-    let mut scratch = ProductScratch::new(n_rows);
+    let mut arena = PartitionArena::new(n_rows);
 
-    // found[a]: minimal approximate lhs discovered so far for rhs a.
+    // found[a]: minimal approximate lhs discovered so far for rhs a —
+    // arity outer entries of short lists; lint: allow(nested-alloc)
     let mut found: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
 
     // The empty-lhs partition (single class).
-    let p_empty = StrippedPartition::for_set(r, AttrSet::empty());
+    let p_empty = FlatPartition::for_set(r, AttrSet::empty());
 
     // ∅ → A first.
     for (a, found_a) in found.iter_mut().enumerate() {
@@ -241,8 +243,10 @@ pub fn approximate_fds_governed(
 
     // Levelwise over lhs sets.
     let mut level: Vec<AttrSet> = (0..n).map(AttrSet::singleton).collect();
-    let mut parts: FxHashMap<AttrSet, StrippedPartition> = (0..n)
-        .map(|a| (AttrSet::singleton(a), db.partition(a).clone()))
+    // Level 1 borrows the singleton partitions straight from the
+    // database; only later levels' products are owned.
+    let mut parts: FxHashMap<AttrSet, Cow<'_, FlatPartition>> = (0..n)
+        .map(|a| (AttrSet::singleton(a), Cow::Borrowed(db.partition(a))))
         .collect();
     let mut l = 1usize;
     let mut completed = 0usize;
@@ -276,7 +280,7 @@ pub fn approximate_fds_governed(
                 token
                     .observer()
                     .add(depminer_govern::Counter::PartitionProducts, 1);
-                let pxa = px.product_with(db.partition(a), &mut scratch);
+                let pxa = px.product_with(db.partition(a), &mut arena);
                 let e = g3_error(px, &pxa, n_rows, &mut labels);
                 if e <= epsilon {
                     out.push(ApproxFd {
@@ -297,7 +301,7 @@ pub fn approximate_fds_governed(
                 (0..n).any(|a| !x.contains(a) && !found[a].iter().any(|f| f.is_subset_of(x)))
             })
             .collect();
-        let mut next_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
+        let mut next_parts: FxHashMap<AttrSet, Cow<'_, FlatPartition>> = FxHashMap::default();
         let mut next: Vec<AttrSet> = Vec::new();
         let present: FxHashSet<AttrSet> = level.iter().copied().collect();
         let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
@@ -318,14 +322,20 @@ pub fn approximate_fds_governed(
                         token
                             .observer()
                             .add(depminer_govern::Counter::PartitionProducts, 1);
-                        let p = parts[&x].product_with(&parts[&y], &mut scratch);
-                        next_parts.insert(z, p);
+                        let p = parts[&x].product_with(&parts[&y], &mut arena);
+                        next_parts.insert(z, Cow::Owned(p));
                         next.push(z);
                     }
                 }
             }
         }
         next.sort_unstable();
+        // Outgoing level's owned partitions feed the arena's buffer pool.
+        for (_, p) in parts.drain() {
+            if let Cow::Owned(p) = p {
+                arena.recycle(p);
+            }
+        }
         parts = next_parts;
         level = next;
         l += 1;

@@ -12,12 +12,15 @@
 //! crafted and random relations.
 
 use depminer_fdtheory::{normalize_fds, Fd};
-use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
+use depminer_govern::{
+    Budget, BudgetExceeded, CancelToken, Counter, MiningOutcome, Stage, StageReport,
+};
 use depminer_parallel::{par_chunks_governed, par_map, par_map_governed, Parallelism};
 use depminer_relation::{
-    AttrSet, FxHashMap, FxHashSet, ProductScratch, Relation, Schema, StrippedPartition,
+    AttrSet, FlatPartition, FxHashMap, FxHashSet, PartitionArena, Relation, Schema,
     StrippedPartitionDb,
 };
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Lattice levels narrower than this run on the calling thread even under
@@ -56,13 +59,16 @@ impl TaneResult {
     /// `lhs(dep(r), A)`, *including* the trivial entry (`{A}`, or `∅` when
     /// `∅ → A` holds) — the form required by the §5.1 Armstrong extension
     /// (`cmax(dep(r), A) = Tr(lhs(dep(r), A))`).
+    // per-rhs lhs families, the §5.1 boundary shape; lint: allow(nested-alloc)
     pub fn lhs_families(&self) -> Vec<Vec<AttrSet>> {
         lhs_families_from_fds(&self.fds, self.schema.arity())
     }
 }
 
 /// See [`TaneResult::lhs_families`]; split out for reuse by the extension.
+// per-rhs lhs families, the §5.1 boundary shape; lint: allow(nested-alloc)
 pub fn lhs_families_from_fds(fds: &[Fd], arity: usize) -> Vec<Vec<AttrSet>> {
+    // small: arity outer entries, minimal-lhs inner; lint: allow(nested-alloc)
     let mut fams: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
     for f in fds {
         fams[f.rhs].push(f.lhs);
@@ -177,7 +183,7 @@ impl Tane {
         let mut fds: Vec<Fd> = Vec::new();
 
         // err(X) = ||π̂_X|| − |π̂_X|; X → A holds iff err(X) == err(XA).
-        let err = |p: &StrippedPartition| p.total_tuples() - p.num_classes();
+        let err = |p: &FlatPartition| p.total_tuples() - p.num_classes();
         // err(∅): a single class of all tuples (when n_rows > 1).
         let err_empty = n_rows.saturating_sub(1);
 
@@ -189,13 +195,17 @@ impl Tane {
         let mut cplus: FxHashMap<AttrSet, AttrSet> = FxHashMap::default();
         cplus.insert(AttrSet::empty(), full);
 
-        // Level 1.
+        // Level 1: the singleton partitions are *borrowed* from the
+        // database — no per-attribute deep clone. Only partitions produced
+        // by later levels are owned (and charged to the memory budget).
         let mut level: Vec<AttrSet> = (0..n).map(AttrSet::singleton).collect();
-        let mut parts: FxHashMap<AttrSet, StrippedPartition> = (0..n)
-            .map(|a| (AttrSet::singleton(a), db.partition(a).clone()))
-            .collect();
-        let mut prev_parts: FxHashMap<AttrSet, StrippedPartition> = FxHashMap::default();
-        let mut scratch = ProductScratch::new(n_rows);
+        let mut cache = LevelCache::seed(db);
+        // Dependency checks at level l only need err(X) of level-(l−1)
+        // nodes, never their partitions — so level l−1's partition storage
+        // is reclaimed as soon as level l's products exist, and l−2's is
+        // long gone. Only this error map survives the level swap.
+        let mut prev_errs: FxHashMap<AttrSet, usize> = FxHashMap::default();
+        let mut arena = PartitionArena::new(n_rows);
 
         let mut l = 1usize;
         let mut stopped: Option<BudgetExceeded> = None;
@@ -241,21 +251,21 @@ impl Tane {
             // outcomes are applied in level order afterwards, keeping the
             // FD emission order identical to the sequential run. A trip
             // mid-level discards the level's partial outcomes entirely.
-            let outcomes: Vec<(AttrSet, Vec<Fd>)> =
+            let outcomes: Vec<(AttrSet, Vec<Fd>, usize)> =
                 match par_map_governed(par, token, Stage::TaneLevels, &level, |&x| {
                     let mut c = cplus[&x];
                     // Without rhs pruning, test every attribute of X; C⁺ is
                     // still *maintained* (the key-pruning minimality test
                     // needs it) but not used to skip validity checks.
                     let cx = if self.rhs_pruning { c } else { full };
-                    let ex = err(&parts[&x]);
+                    let ex = err(cache.get(x));
                     let mut found: Vec<Fd> = Vec::new();
                     for a in x.intersection(cx).iter() {
                         let xa = x.without(a);
                         let e_sub = if xa.is_empty() {
                             err_empty
                         } else {
-                            err(&prev_parts[&xa])
+                            prev_errs[&xa]
                         };
                         if e_sub == ex {
                             // X\{A} → A is valid; minimal iff C⁺ allows A.
@@ -266,7 +276,7 @@ impl Tane {
                             c = c.difference(full.difference(x));
                         }
                     }
-                    Ok((c, found))
+                    Ok((c, found, ex))
                 }) {
                     Ok(o) => o,
                     Err(why) => {
@@ -274,9 +284,13 @@ impl Tane {
                         break;
                     }
                 };
-            for (&x, (c, found)) in level.iter().zip(outcomes) {
+            // This level's errors become next level's subset lookups.
+            let mut cur_errs: FxHashMap<AttrSet, usize> = FxHashMap::default();
+            cur_errs.reserve(level.len());
+            for (&x, (c, found, ex)) in level.iter().zip(outcomes) {
                 cplus.insert(x, c);
                 fds.extend(found);
+                cur_errs.insert(x, ex);
             }
 
             // --- PRUNE ---------------------------------------------------
@@ -285,7 +299,7 @@ impl Tane {
                 if self.rhs_pruning && cplus[&x].is_empty() {
                     continue;
                 }
-                if self.key_pruning && parts[&x].is_superkey() {
+                if self.key_pruning && cache.get(x).is_superkey() {
                     for a in cplus[&x].difference(x).iter() {
                         // X → A is minimal iff A survives in every
                         // C⁺(X ∪ {A} \ {B}).
@@ -304,10 +318,10 @@ impl Tane {
             completed_levels = l;
 
             // --- GENERATE_NEXT_LEVEL ------------------------------------
-            let (next_level, next_parts) = match generate_next(
+            let (next_level, next_cache) = match generate_next(
                 &survivors,
-                &parts,
-                &mut scratch,
+                &mut cache,
+                &mut arena,
                 &mut stats,
                 self.parallelism,
                 n_rows,
@@ -319,12 +333,23 @@ impl Tane {
                     break;
                 }
             };
-            prev_parts = std::mem::take(&mut parts);
-            parts = next_parts;
+            // Level swap: the outgoing level's partitions are reclaimed
+            // (buffers recycled into the arena, tracked bytes released) —
+            // only its error map survives, as `prev_errs`.
+            cache.reclaim_all(&mut arena, token);
+            cache = next_cache;
+            prev_errs = cur_errs;
             level = next_level;
             l += 1;
         }
         drop(levels_span);
+        // Release whatever the final (or interrupted) level still holds so
+        // the token's memory account returns to its pre-TANE baseline.
+        cache.reclaim_all(&mut arena, token);
+        let hw = arena.high_water_bytes() as u64;
+        if hw > 0 {
+            token.observer().add(Counter::ArenaHighWaterBytes, hw);
+        }
 
         normalize_fds(&mut fds);
         token
@@ -374,28 +399,114 @@ fn cplus_lookup(y: AttrSet, cplus: &mut FxHashMap<AttrSet, AttrSet>) -> AttrSet 
     c
 }
 
-/// Prefix-join generation with Apriori pruning; partitions of new nodes are
-/// products of their generating pair.
+/// A partition slot in the per-level cache: level 1 *borrows* the
+/// singleton partitions straight from the [`StrippedPartitionDb`] (no
+/// clone, no memory charge), while every partition produced by a lattice
+/// product is owned by its level and charged to the budget.
+enum PartRef<'db> {
+    /// Borrowed from the database; never charged to the memory budget.
+    Db(&'db FlatPartition),
+    /// Produced by this run; its `heap_bytes` are reserved on the token.
+    Owned(FlatPartition),
+}
+
+impl PartRef<'_> {
+    fn get(&self) -> &FlatPartition {
+        match self {
+            PartRef::Db(p) => p,
+            PartRef::Owned(p) => p,
+        }
+    }
+}
+
+/// The partitions of one lattice level, keyed by attribute set.
+///
+/// Owned entries are charged to the [`CancelToken`]'s memory account when
+/// inserted and released by [`LevelCache::evict`] /
+/// [`LevelCache::reclaim_all`]; reclaimed buffers return to the
+/// [`PartitionArena`] pool so the next level's products reuse them
+/// instead of allocating fresh.
+struct LevelCache<'db> {
+    parts: FxHashMap<AttrSet, PartRef<'db>>,
+}
+
+impl<'db> LevelCache<'db> {
+    /// Level-1 cache: one borrowed singleton partition per attribute.
+    fn seed(db: &'db StrippedPartitionDb) -> Self {
+        let parts = (0..db.arity())
+            .map(|a| (AttrSet::singleton(a), PartRef::Db(db.partition(a))))
+            .collect();
+        LevelCache { parts }
+    }
+
+    fn empty() -> Self {
+        LevelCache {
+            parts: FxHashMap::default(),
+        }
+    }
+
+    fn get(&self, x: AttrSet) -> &FlatPartition {
+        self.parts[&x].get()
+    }
+
+    /// Inserts a produced partition. The caller has already reserved its
+    /// `heap_bytes` on the token.
+    fn insert_owned(&mut self, x: AttrSet, p: FlatPartition) {
+        self.parts.insert(x, PartRef::Owned(p));
+    }
+
+    /// Drops one entry early (memory pressure): releases its tracked
+    /// bytes, recycles its buffers into the arena, and counts the
+    /// eviction. Borrowed entries are merely unlinked — they were never
+    /// charged.
+    fn evict(&mut self, x: AttrSet, arena: &mut PartitionArena, token: &CancelToken) {
+        if let Some(PartRef::Owned(p)) = self.parts.remove(&x) {
+            token.release_memory(p.heap_bytes() as u64);
+            token.observer().add(Counter::PartitionCacheEvictions, 1);
+            arena.recycle(p);
+        }
+    }
+
+    /// Releases and recycles every remaining owned partition (the level
+    /// swap, and the end-of-run cleanup).
+    fn reclaim_all(&mut self, arena: &mut PartitionArena, token: &CancelToken) {
+        for (_, pr) in self.parts.drain() {
+            if let PartRef::Owned(p) = pr {
+                token.release_memory(p.heap_bytes() as u64);
+                arena.recycle(p);
+            }
+        }
+    }
+}
+
+/// Prefix-join generation with Apriori pruning; partitions of new nodes
+/// are products of their generating pair, computed in place against the
+/// level [`PartitionArena`].
 ///
 /// Candidate pairs are collected first (cheap set algebra, sequential),
 /// deduplicated by their union `Z` — the sequential formulation recomputed
 /// the product once per generating pair — and the surviving partition
-/// products, the dominant per-level cost, fan out across threads with one
-/// [`ProductScratch`] per chunk. Pairs are sorted by `Z` before the
-/// fan-out, so chunk boundaries and the returned level are deterministic.
+/// products, the dominant per-level cost, either run on the calling
+/// thread against the shared arena or fan out across threads with one
+/// arena per chunk. Pairs are sorted by `Z` before the fan-out, so chunk
+/// boundaries and the returned level are deterministic.
 ///
-/// Partition products are the dominant per-level cost, so the token is
-/// polled per product; the next level's partition memory is charged to the
-/// budget (and the previous level's released by the caller's swap).
-fn generate_next(
+/// Memory: each produced partition's `heap_bytes` are reserved on the
+/// token before it is kept. On the sequential path, when a reservation
+/// *would* trip the budget, current-level partitions no later pair
+/// references ("retired") are evicted earliest-retired-first — trading
+/// footprint for nothing (they are dead weight) instead of aborting — and
+/// only when no retired entry is left does a genuine reservation trip
+/// surface as a partial result.
+fn generate_next<'db>(
     survivors: &[AttrSet],
-    parts: &FxHashMap<AttrSet, StrippedPartition>,
-    scratch: &mut ProductScratch,
+    cache: &mut LevelCache<'db>,
+    arena: &mut PartitionArena,
     stats: &mut TaneStats,
     par: Parallelism,
     n_rows: usize,
     token: &CancelToken,
-) -> Result<(Vec<AttrSet>, FxHashMap<AttrSet, StrippedPartition>), BudgetExceeded> {
+) -> Result<(Vec<AttrSet>, LevelCache<'db>), BudgetExceeded> {
     let present: FxHashSet<AttrSet> = survivors.iter().copied().collect();
     let mut by_prefix: FxHashMap<AttrSet, Vec<AttrSet>> = FxHashMap::default();
     for &x in survivors {
@@ -422,44 +533,100 @@ fn generate_next(
         depminer_govern::Counter::PartitionProducts,
         pairs.len() as u64,
     );
+    // Every product is computed into arena-pooled buffers, never a fresh
+    // nested allocation.
+    token
+        .observer()
+        .add(Counter::ProductsInPlace, pairs.len() as u64);
     let _span = token.observer().span("tane-levels/products");
-    let produced: Vec<StrippedPartition> =
-        if pairs.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
-            let chunk = pairs.len().div_ceil(par.effective_threads() * 4).max(1);
-            par_chunks_governed(
-                par,
-                token,
-                Stage::TaneLevels,
-                &pairs,
-                chunk,
-                |chunk_pairs| {
-                    let _products = token.observer().span("tane-levels/products");
-                    let mut local_scratch = ProductScratch::new(n_rows);
-                    chunk_pairs
-                        .iter()
-                        .map(|&(x, y, _)| {
-                            token.check(Stage::TaneLevels)?;
-                            Ok(parts[&x].product_with(&parts[&y], &mut local_scratch))
-                        })
-                        .collect::<Result<Vec<_>, BudgetExceeded>>()
-                },
-            )?
-            .into_iter()
-            .flatten()
-            .collect()
-        } else {
-            pairs
-                .iter()
-                .map(|&(x, y, _)| {
-                    token.check(Stage::TaneLevels)?;
-                    Ok(parts[&x].product_with(&parts[&y], scratch))
-                })
-                .collect::<Result<Vec<_>, BudgetExceeded>>()?
-        };
     let next: Vec<AttrSet> = pairs.iter().map(|p| p.2).collect();
-    let next_parts: FxHashMap<AttrSet, StrippedPartition> =
-        next.iter().copied().zip(produced).collect();
-    Ok((next, next_parts))
+    let mut next_cache = LevelCache::empty();
+    if pairs.len() >= PAR_LEVEL_THRESHOLD && !par.is_sequential() {
+        // Parallel path: the current level is read shared across threads,
+        // so eviction (which mutates it) is off; products are charged as
+        // they are collected, in deterministic pair order.
+        let chunk = pairs.len().div_ceil(par.effective_threads() * 4).max(1);
+        let cache_ref: &LevelCache<'db> = cache;
+        let produced: Vec<FlatPartition> = par_chunks_governed(
+            par,
+            token,
+            Stage::TaneLevels,
+            &pairs,
+            chunk,
+            |chunk_pairs| {
+                let _products = token.observer().span("tane-levels/products");
+                let mut local_arena = PartitionArena::new(n_rows);
+                chunk_pairs
+                    .iter()
+                    .map(|&(x, y, _)| {
+                        token.check(Stage::TaneLevels)?;
+                        Ok(cache_ref
+                            .get(x)
+                            .product_with(cache_ref.get(y), &mut local_arena))
+                    })
+                    .collect::<Result<Vec<_>, BudgetExceeded>>()
+            },
+        )?
+        .into_iter()
+        .flatten()
+        .collect();
+        for (&(_, _, z), p) in pairs.iter().zip(produced) {
+            if let Err(why) = token.reserve_memory(p.heap_bytes() as u64, Stage::TaneLevels) {
+                next_cache.reclaim_all(arena, token);
+                return Err(why);
+            }
+            next_cache.insert_owned(z, p);
+        }
+    } else {
+        // After its last generating pair, a survivor's partition is dead
+        // weight until the caller's level swap — it joins the eviction
+        // queue in retirement order.
+        let mut last_use: FxHashMap<AttrSet, usize> = FxHashMap::default();
+        for (i, &(x, y, _)) in pairs.iter().enumerate() {
+            last_use.insert(x, i);
+            last_use.insert(y, i);
+        }
+        let mut retired: VecDeque<AttrSet> = VecDeque::new();
+        let mut failed: Option<BudgetExceeded> = None;
+        for (i, &(x, y, z)) in pairs.iter().enumerate() {
+            if let Err(why) = token.check(Stage::TaneLevels) {
+                failed = Some(why);
+                break;
+            }
+            let p = cache.get(x).product_with(cache.get(y), arena);
+            let bytes = p.heap_bytes() as u64;
+            // Evict dead partitions before letting the reservation trip:
+            // an advisory query first, so eviction has no side effects
+            // when the budget is comfortable. Each pass pops one queue
+            // entry, so the loop is bounded by the retired count.
+            // lint: allow(unchecked-loop)
+            while token.memory_would_trip(bytes) {
+                match retired.pop_front() {
+                    Some(victim) => cache.evict(victim, arena, token),
+                    None => break,
+                }
+            }
+            if let Err(why) = token.reserve_memory(bytes, Stage::TaneLevels) {
+                arena.recycle(p);
+                failed = Some(why);
+                break;
+            }
+            next_cache.insert_owned(z, p);
+            if last_use[&x] == i {
+                retired.push_back(x);
+            }
+            if last_use[&y] == i {
+                retired.push_back(y);
+            }
+        }
+        if let Some(why) = failed {
+            // Roll back this level's reservations so the token's memory
+            // account stays exact in the partial outcome.
+            next_cache.reclaim_all(arena, token);
+            return Err(why);
+        }
+    }
+    Ok((next, next_cache))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! workspace's own sources, built on the lossless [`crate::lexer`] and
 //! the [`crate::flow`] block/flow analyzer.
 //!
-//! Twelve project-specific rules (see DESIGN.md §7.1):
+//! Thirteen project-specific rules (see DESIGN.md §7.1):
 //!
 //! | rule                  | level | what it flags                                          |
 //! |-----------------------|-------|--------------------------------------------------------|
@@ -13,6 +13,7 @@
 //! | `header-hygiene`      | line  | `lib.rs` missing the `#![warn(missing_docs)]` header   |
 //! | `raw-thread-spawn`    | line  | `thread::spawn`/`thread::Builder` outside the parallel runtime |
 //! | `unchecked-loop`      | line  | lattice `while`/`loop` with no budget checkpoint at all |
+//! | `nested-alloc`        | line  | `Vec<Vec<…>>` in the flat-layout hot-path modules      |
 //! | `par-closure-capture` | flow  | `&mut` upvars / interior mutability / captured-binding mutation in `par_map`-family closures |
 //! | `budget-coverage`     | flow  | lattice loop polling a checkpoint on some paths but not all |
 //! | `safety-comment`      | flow  | `unsafe` without an adjacent `// SAFETY:` justification |
@@ -23,7 +24,8 @@
 //! (`tests/`, `benches/`, `examples/`, `fixtures/` segments and in-file
 //! `#[cfg(test)]` modules) is exempt from everything except
 //! `header-hygiene`; `raw-thread-spawn` exempts the parallel runtime;
-//! the loop rules apply only to the lattice modules. Any remaining
+//! the loop rules apply only to the lattice modules and `nested-alloc`
+//! only to the flat-layout hot paths. Any remaining
 //! finding can be suppressed with a `// lint: allow(<rule>)` comment on
 //! the same line or the line above (with a neighbouring comment saying
 //! why), or — for adopting the tool on a tree with known findings — an
@@ -41,7 +43,7 @@ use crate::rules;
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 12] = [
+pub const RULES: [&str; 13] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
@@ -49,6 +51,7 @@ pub const RULES: [&str; 12] = [
     "header-hygiene",
     "raw-thread-spawn",
     "unchecked-loop",
+    "nested-alloc",
     "par-closure-capture",
     "budget-coverage",
     "safety-comment",
@@ -274,6 +277,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
         rules::lines::check_attr_count(path, &lines, &in_test, &mut out);
         rules::lines::check_raw_thread_spawn(path, &lines, &in_test, &mut out);
         rules::lines::check_unchecked_loop(path, &lines, &in_test, &mut out);
+        rules::lines::check_nested_alloc(path, &lines, &in_test, &mut out);
 
         let sig = crate::flow::significant(source);
         let tree = crate::flow::parse(&sig);
@@ -500,6 +504,48 @@ mod tests {
         // Test modules are exempt.
         let test_mod = lint_lattice(
             "#[cfg(test)]\nmod tests {\n    fn t(mut v: Vec<u32>) {\n        while !v.is_empty() { v.pop(); }\n    }\n}\n",
+        );
+        assert!(test_mod.is_empty(), "{test_mod:?}");
+    }
+
+    const HOT: &str = "crates/relation/src/spdb.rs";
+
+    fn lint_hot(body: &str) -> Vec<Diagnostic> {
+        lint_file(HOT, &format!("{HEADER}{body}"))
+    }
+
+    #[test]
+    fn nested_alloc_flags_hot_path_nested_vecs() {
+        let diags = lint_hot(
+            "fn f(n: usize) -> Vec<Vec<u32>> {\n    let grid: Vec<Vec<u32>> = vec![Vec::new(); n];\n    grid\n}\n",
+        );
+        assert_eq!(rules(&diags), ["nested-alloc", "nested-alloc"]);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 3);
+        // Whitespace variants still match, including across a line break.
+        let spaced = lint_hot("fn g() -> Vec < Vec < u32 > > {\n    Vec::new()\n}\n");
+        assert_eq!(rules(&spaced), ["nested-alloc"]);
+        let split = lint_hot("fn h() -> Vec<\n    Vec<u32>,\n> {\n    Vec::new()\n}\n");
+        assert_eq!(rules(&split), ["nested-alloc"]);
+        assert_eq!(split[0].line, 2, "{split:?}");
+    }
+
+    #[test]
+    fn nested_alloc_scope_and_escape_hatch() {
+        let body = "fn f() -> Vec<Vec<u32>> {\n    Vec::new()\n}\n";
+        // Outside the hot-path modules the rule does not apply.
+        let other = lint_file(LIB, &format!("{HEADER}{body}"));
+        assert!(other.is_empty(), "{other:?}");
+        // Flat forms never match.
+        let flat = lint_hot("fn f(rows: Vec<u32>, offsets: Vec<u32>) -> usize {\n    rows.len() + offsets.len()\n}\n");
+        assert!(flat.is_empty(), "{flat:?}");
+        // The escape hatch names the rule; test modules are exempt.
+        let allowed = lint_hot(
+            "// boundary type; lint: allow(nested-alloc)\nfn f() -> Vec<Vec<u32>> {\n    Vec::new()\n}\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+        let test_mod = lint_hot(
+            "#[cfg(test)]\nmod tests {\n    fn t() -> Vec<Vec<u32>> {\n        Vec::new()\n    }\n}\n",
         );
         assert!(test_mod.is_empty(), "{test_mod:?}");
     }

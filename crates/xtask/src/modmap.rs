@@ -18,6 +18,9 @@ pub enum Zone {
     ParallelRuntime,
     /// Lattice-walk modules whose loops must poll the governance token.
     LatticeModule,
+    /// Partition/agree-set hot paths held to the flat CSR layout: nested
+    /// `Vec<Vec<…>>` allocations there need a justification.
+    HotPath,
 }
 
 /// How one map entry matches a workspace-relative path (normalized to
@@ -54,6 +57,17 @@ pub const MODULE_MAP: &[(Matcher, Zone)] = &[
         Matcher::Suffix("crates/tane/src/approx.rs"),
         Zone::LatticeModule,
     ),
+    (
+        Matcher::Suffix("crates/relation/src/partition.rs"),
+        Zone::HotPath,
+    ),
+    (
+        Matcher::Suffix("crates/relation/src/spdb.rs"),
+        Zone::HotPath,
+    ),
+    (Matcher::Suffix("crates/core/src/agree.rs"), Zone::HotPath),
+    (Matcher::Suffix("crates/tane/src/exact.rs"), Zone::HotPath),
+    (Matcher::Suffix("crates/tane/src/approx.rs"), Zone::HotPath),
 ];
 
 /// `true` when `path` falls in `zone` according to [`MODULE_MAP`].
@@ -117,5 +131,20 @@ mod tests {
         assert!(!in_zone("crates/tane/src/lib.rs", Zone::LatticeModule));
         // Backslash paths normalize.
         assert!(in_zone("crates\\tane\\src\\exact.rs", Zone::LatticeModule));
+    }
+
+    #[test]
+    fn hot_path_modules_by_suffix() {
+        for p in [
+            "crates/relation/src/partition.rs",
+            "crates/relation/src/spdb.rs",
+            "crates/core/src/agree.rs",
+            "crates/tane/src/exact.rs",
+            "crates/tane/src/approx.rs",
+        ] {
+            assert!(in_zone(p, Zone::HotPath), "{p}");
+        }
+        assert!(!in_zone("crates/relation/src/relation.rs", Zone::HotPath));
+        assert!(!in_zone("crates/core/src/lhs.rs", Zone::HotPath));
     }
 }

@@ -299,6 +299,55 @@ pub fn check_unchecked_loop(
     }
 }
 
+/// Rule `nested-alloc`: a `Vec<Vec<…>>` in a hot-path module
+/// ([`Zone::HotPath`]) is a jagged heap-of-heaps where the flat CSR
+/// forms (`FlatPartition`, `EquivalenceClassIds`, or a payload+offsets
+/// pair) belong. The match is whitespace-insensitive (so
+/// `Vec < Vec <` and `Vec<\n    Vec<` spellings still count) but
+/// string/comment-safe via the scrubbed view. Boundary types and
+/// pedagogical nested forms carry a `// lint: allow(nested-alloc)`
+/// marker with a justification; adopting the rule on a tree with known
+/// debt goes through `xtask-baseline.txt` instead.
+pub fn check_nested_alloc(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !in_zone(path, Zone::HotPath) {
+        return;
+    }
+    // A declaration can split across lines (`Vec<` at the end of one,
+    // `Vec<` at the start of the next), so the scan joins each line with
+    // its successor before squashing whitespace; the finding lands on
+    // the first line of the pair.
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "nested-alloc") {
+            continue;
+        }
+        let mut joined = line.code.clone();
+        if let Some(next) = lines.get(idx + 1) {
+            joined.push_str(&next.code);
+        }
+        let squashed: String = joined.chars().filter(|c| !c.is_whitespace()).collect();
+        // Only report the pair's first line: a hit that starts on the
+        // next line is that line's own finding.
+        let own: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        let starts_here = match squashed.find("Vec<Vec<") {
+            Some(pos) => pos < own.len(),
+            None => false,
+        };
+        if starts_here {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "nested-alloc",
+                message: "nested `Vec<Vec<…>>` in a hot-path module; use the flat CSR layout (payload + offsets, e.g. `FlatPartition`) or justify with `// lint: allow(nested-alloc)`".to_string(),
+            });
+        }
+    }
+}
+
 /// Rule `header-hygiene`: every `lib.rs` must carry
 /// `#![warn(missing_docs)]` (or the stricter `#![deny(warnings)]`) near
 /// the top, so undocumented public items fail `cargo test` under the

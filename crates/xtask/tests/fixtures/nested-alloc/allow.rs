@@ -1,0 +1,12 @@
+// Golden fixture: the escape hatch, for a nested form that is the
+// documented public boundary of an API rather than a hot-loop buffer.
+
+// public MC boundary type; lint: allow(nested-alloc)
+fn maximal_classes_boundary() -> Vec<Vec<u32>> {
+    Vec::new()
+}
+
+fn inline_marker(n: usize) -> usize {
+    let grid: Vec<Vec<u32>> = vec![Vec::new(); n]; // pedagogical form; lint: allow(nested-alloc)
+    grid.len()
+}

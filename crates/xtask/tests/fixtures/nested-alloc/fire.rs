@@ -1,0 +1,19 @@
+// Golden fixture: nested allocations `nested-alloc` must flag. Linted
+// under a hot-path module path by tests/golden.rs.
+
+fn jagged_return(n: usize) -> Vec<Vec<u32>> {
+    let mut grid = Vec::new();
+    grid.resize(n, Vec::new());
+    grid
+}
+
+fn spaced_declaration(n: usize) -> usize {
+    let grid: Vec < Vec < u32 > > = vec![Vec::new(); n];
+    grid.len()
+}
+
+fn split_across_lines() -> Vec<
+    Vec<u32>,
+> {
+    Vec::new()
+}

@@ -1,0 +1,23 @@
+// Golden fixture: flat-layout code `nested-alloc` must not flag — CSR
+// payload + offsets pairs, a Vec of scalars, comments and strings
+// mentioning the nested spelling, and a test-module nested helper.
+
+fn csr_walk(rows: &[u32], offsets: &[u32]) -> usize {
+    offsets.windows(2).map(|w| (w[1] - w[0]) as usize).sum::<usize>() + rows.len()
+}
+
+fn flat_buffers(n: usize) -> (Vec<u32>, Vec<u32>) {
+    (Vec::with_capacity(n), vec![0u32; n + 1])
+}
+
+// A comment spelling out Vec<Vec<u32>> is prose, not an allocation.
+fn commented() -> &'static str {
+    "the nested Vec<Vec<u32>> form is banned here"
+}
+
+#[cfg(test)]
+mod tests {
+    fn nested_oracle() -> Vec<Vec<u32>> {
+        vec![vec![1, 2], vec![3]]
+    }
+}

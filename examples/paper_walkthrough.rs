@@ -21,7 +21,6 @@ fn main() {
         let classes: Vec<String> = db
             .partition(a)
             .classes()
-            .iter()
             .map(|c| format!("{c:?}"))
             .collect();
         println!("  pi^{:<8} = {{{}}}", schema.name(a), classes.join(", "));

@@ -14,8 +14,9 @@
 //! depminer generate --attrs <n> --rows <n> [--correlation <c>] [--seed <s>] <out.csv>
 //! ```
 //!
-//! `fds`, `approx` and `armstrong` also accept `--timeout <secs>` and
-//! `--max-couples <n>`: mining then runs under a resource [`Budget`] and a
+//! `fds`, `approx` and `armstrong` also accept `--timeout <secs>`,
+//! `--max-couples <n>` and `--max-memory <size>` (bytes, or `64m`-style
+//! suffixed): mining then runs under a resource [`Budget`] and a
 //! budget-exhausted run prints whatever partial result is valid plus
 //! per-stage diagnostics, exiting with code **3** (distinct from 1 =
 //! runtime error and 2 = usage error).
@@ -81,12 +82,32 @@ fn budget_err(why: &BudgetExceeded) -> CliError {
     }
 }
 
-/// Builds a [`Budget`] from `--timeout <secs>` / `--max-couples <n>`;
-/// `None` when neither flag is present (the ungoverned fast path).
+/// Parses a `--max-memory` value: plain bytes, or with a `k`/`m`/`g`
+/// binary suffix (case-insensitive), e.g. `64m`.
+fn parse_memory_size(s: &str) -> Result<u64, CliError> {
+    let bad = || {
+        usage_err(format!(
+            "--max-memory: invalid size `{s}` (try 64m, 2g, or bytes)"
+        ))
+    };
+    let (digits, shift) = match s.trim().to_ascii_lowercase() {
+        t if t.ends_with('k') => (t[..t.len() - 1].to_string(), 10),
+        t if t.ends_with('m') => (t[..t.len() - 1].to_string(), 20),
+        t if t.ends_with('g') => (t[..t.len() - 1].to_string(), 30),
+        t => (t, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(1 << shift).filter(|&v| v > 0).ok_or_else(bad)
+}
+
+/// Builds a [`Budget`] from `--timeout <secs>` / `--max-couples <n>` /
+/// `--max-memory <size>`; `None` when no flag is present (the ungoverned
+/// fast path).
 fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
     let timeout: Option<f64> = args.get_parsed("timeout")?;
     let max_couples: Option<u64> = args.get_parsed("max-couples")?;
-    if timeout.is_none() && max_couples.is_none() {
+    let max_memory = args.get("max-memory").map(parse_memory_size).transpose()?;
+    if timeout.is_none() && max_couples.is_none() && max_memory.is_none() {
         return Ok(None);
     }
     let mut budget = Budget::unlimited();
@@ -98,6 +119,9 @@ fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
     }
     if let Some(n) = max_couples {
         budget = budget.with_max_couples(n);
+    }
+    if let Some(bytes) = max_memory {
+        budget = budget.with_max_memory_bytes(bytes);
     }
     Ok(Some(budget))
 }
@@ -183,9 +207,11 @@ USAGE:
     depminer help
 
 BUDGETS:
-    fds, approx and armstrong accept --timeout <secs> and --max-couples <n>.
-    When the budget runs out the valid partial result and per-stage
-    diagnostics are printed and the process exits with code 3.
+    fds, approx and armstrong accept --timeout <secs>, --max-couples <n>
+    and --max-memory <size> (bytes, or with a k/m/g suffix, e.g. 64m; caps
+    the tracked partition storage — the TANE cache evicts dead partitions
+    before giving up). When the budget runs out the valid partial result
+    and per-stage diagnostics are printed and the process exits with code 3.
 
 OBSERVABILITY:
     fds accepts --profile <out.json> (write a span-tree profile with phase
@@ -351,7 +377,7 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "all" => mine_all(&r, &token)?,
             other => {
                 return Err(usage_err(format!(
-                "--timeout/--max-couples/--profile/--trace are not supported with --algo {other}"
+                "--timeout/--max-couples/--max-memory/--profile/--trace are not supported with --algo {other}"
             )))
             }
         };
@@ -1115,6 +1141,35 @@ zip -> city
                 .code,
             2
         );
+        for bad in ["abc", "0", "-1", "12t", "99999999999g"] {
+            assert_eq!(
+                run_cli(&["fds", "--max-memory", bad, &path])
+                    .unwrap_err()
+                    .code,
+                2,
+                "--max-memory {bad} must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn max_memory_flag_caps_and_passes_through() {
+        let path = tmp_csv("budget_mem.csv", ZIP_CSV);
+        // Generous cap (suffixed form): run completes.
+        for size in ["1g", "64M", "1048576"] {
+            let out = run_cli(&["fds", "--algo", "tane", "--max-memory", size, &path]).unwrap();
+            assert!(out.contains("zip -> city"), "size {size}:\n{out}");
+            assert!(!out.contains("PARTIAL"), "size {size}:\n{out}");
+        }
+        // A relation whose level-2 partitions are non-empty (no 2-attribute
+        // key), so TANE must charge owned partition storage: a 1-byte cap
+        // trips even after the cache evicts everything dead, and the run
+        // exits 3 with the level-1 partial result.
+        let csv = "a,b,c\n1,1,1\n1,1,2\n2,2,1\n2,2,2\n3,3,1\n3,3,2\n";
+        let path = tmp_csv("budget_mem_trip.csv", csv);
+        let (out, res) = run_cli_capture(&["fds", "--algo", "tane", "--max-memory", "1", &path]);
+        assert_eq!(res.unwrap_err().code, 3);
+        assert!(out.contains("PARTIAL"), "{out}");
     }
 
     #[test]
