@@ -45,6 +45,42 @@ cargo run --release -q -p depminer -- fds --algo all \
 cargo run -p xtask -q -- validate-profile target/PROFILE_smoke.json \
     --require depminer,agree-sets,max-sets,transversals,tane,tane-levels,fdep,negative-cover,fdep-inversion
 
+echo "==> checkpoint/resume smoke: trip at first boundary, resume, compare"
+# Interrupt a governed TANE mine at its first checkpoint (--timeout 0
+# trips immediately), confirm the trip leaves a durable snapshot, resume
+# it to completion, and require the resumed FD set to match the
+# uninterrupted baseline line for line. A completed resume must also
+# discard its snapshot.
+rm -rf target/ckpt_smoke
+mkdir -p target/ckpt_smoke
+cargo run --release -q -p depminer -- fds --algo tane \
+    target/smoke.csv > target/fds_full.txt
+status=0
+cargo run --release -q -p depminer -- fds --algo tane --timeout 0 \
+    --checkpoint-dir target/ckpt_smoke target/smoke.csv \
+    > target/fds_tripped.txt 2>/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "ci.sh: interrupted mine should exit 3 (budget trip), got $status" >&2
+    exit 1
+fi
+if [ ! -f target/ckpt_smoke/tane.snap ]; then
+    echo "ci.sh: interrupted mine left no snapshot behind" >&2
+    exit 1
+fi
+cargo run --release -q -p depminer -- resume --checkpoint-dir target/ckpt_smoke \
+    target/smoke.csv > target/fds_resumed.txt
+grep -- '->' target/fds_full.txt > target/fds_full_only.txt
+grep -- '->' target/fds_resumed.txt > target/fds_resumed_only.txt
+if ! cmp -s target/fds_full_only.txt target/fds_resumed_only.txt; then
+    echo "ci.sh: resumed FD set differs from the uninterrupted baseline" >&2
+    diff target/fds_full_only.txt target/fds_resumed_only.txt >&2 || true
+    exit 1
+fi
+if [ -e target/ckpt_smoke/tane.snap ]; then
+    echo "ci.sh: a completed resume must discard its snapshot" >&2
+    exit 1
+fi
+
 echo "==> parallel scaling benchmark -> BENCH_parallel.json"
 cargo run --release -q -p depminer-bench --bin parallel_scaling -- --reps 2
 
@@ -52,6 +88,13 @@ echo "==> governance overhead benchmark -> BENCH_govern.json"
 # Larger rows + best-of-5: single-run jitter on a small box exceeds the
 # ~1% effect being measured.
 cargo run --release -q -p depminer-bench --bin govern_overhead -- --rows 20000 --reps 5
+
+echo "==> snapshot-arming overhead benchmark -> BENCH_resume.json"
+# 100k rows, interleaved median-of-21: the armed-policy delta is a few
+# ms, so short runs and best-of estimators drown it in scheduler jitter
+# on a small box; long mines and a robust estimator keep the comparison
+# honest.
+cargo run --release -q -p depminer-bench --bin resume_overhead -- --rows 100000 --reps 21
 
 echo "==> observability overhead benchmark -> BENCH_observe.json"
 cargo run --release -q -p depminer-bench --bin observe_overhead -- --rows 20000 --reps 5

@@ -7,7 +7,7 @@
 
 use crate::maxset::MaxSets;
 use depminer_fdtheory::{normalize_fds, Fd};
-use depminer_govern::{BudgetExceeded, CancelToken, Resource, Stage};
+use depminer_govern::{BudgetExceeded, CancelToken, Counter, Resource, Stage};
 use depminer_hypergraph::{berge, dfs, levelwise, Hypergraph};
 use depminer_parallel::{par_map_indexed, Parallelism};
 use depminer_relation::AttrSet;
@@ -98,8 +98,27 @@ pub fn left_hand_sides_governed(
     par: Parallelism,
     token: &CancelToken,
 ) -> (Vec<Option<Vec<AttrSet>>>, Option<BudgetExceeded>) {
+    left_hand_sides_resume_governed(ms, engine, par, token, &[])
+}
+
+/// [`left_hand_sides_governed`] resuming from a prior run's per-attribute
+/// results: attributes with a `Some(family)` entry in `prior` (a snapshot's
+/// transversal state) are returned as-is without re-running their search;
+/// only the holes — and any attributes past the end of `prior` — are
+/// computed. Pass an empty slice for a fresh run.
+pub fn left_hand_sides_resume_governed(
+    ms: &MaxSets,
+    engine: TransversalEngine,
+    par: Parallelism,
+    token: &CancelToken,
+    prior: &[Option<Vec<AttrSet>>],
+) -> (Vec<Option<Vec<AttrSet>>>, Option<BudgetExceeded>) {
     let _span = token.observer().span("transversals");
     let families: Vec<Option<Vec<AttrSet>>> = par_map_indexed(par, ms.arity, |a| {
+        if let Some(Some(done)) = prior.get(a) {
+            token.observer().add(Counter::ResumeLevelsSkipped, 1);
+            return Some(done.clone());
+        }
         let h = Hypergraph::new(ms.arity, ms.cmax[a].clone());
         engine.run_governed(&h, token).ok()
     });

@@ -33,6 +33,7 @@
 pub mod agree;
 pub mod armstrong;
 pub mod audit;
+pub mod checkpoint;
 pub mod keys;
 pub mod lhs;
 pub mod maxset;
@@ -49,19 +50,23 @@ pub use armstrong::{
     synthetic_armstrong_governed,
 };
 pub use audit::{audit_lhs, audit_lhs_for_attribute};
+pub use checkpoint::{depminer_config_bytes, DepMinerCheckpoint, DEPMINER_ALGO};
 pub use depminer_govern::{
-    Budget, BudgetExceeded, CancelToken, MiningOutcome, Resource, Stage, StageReport,
+    Budget, BudgetExceeded, CancelToken, MiningOutcome, Obs, Resource, Snapshot, SnapshotError,
+    SnapshotPolicy, Stage, StageReport,
 };
 pub use depminer_parallel::Parallelism;
 pub use keys::candidate_keys_from_agree_sets;
 pub use lhs::{
-    fd_output, left_hand_sides, left_hand_sides_governed, left_hand_sides_with, TransversalEngine,
+    fd_output, left_hand_sides, left_hand_sides_governed, left_hand_sides_resume_governed,
+    left_hand_sides_with, TransversalEngine,
 };
 pub use maxset::{cmax_sets, cmax_sets_governed, cmax_sets_with, MaxSets};
 pub use stats::PhaseTimings;
 
 use depminer_fdtheory::Fd;
 use depminer_relation::invariants::{audits_enabled, enforce};
+use depminer_relation::state::db_fingerprint;
 use depminer_relation::{AttrSet, Relation, RelationError, Schema, StrippedPartitionDb};
 use std::time::{Duration, Instant};
 
@@ -176,6 +181,41 @@ impl DepMiner {
         outcome
     }
 
+    /// The configuration bytes stamped into snapshot frames: agree-set
+    /// strategy and transversal engine. Parallelism is deliberately
+    /// excluded — the mined result is thread-count independent, so a
+    /// snapshot written at `--threads 4` resumes fine at `--threads 1`.
+    pub fn config_bytes(&self) -> Vec<u8> {
+        depminer_config_bytes(self.strategy, self.engine)
+    }
+
+    /// Resume an interrupted governed run from a snapshot frame.
+    ///
+    /// Refuses loudly (no mining happens) when the frame belongs to a
+    /// different algorithm, a different relation (fingerprint), or a
+    /// different strategy/engine configuration. On success the pipeline
+    /// restarts at the checkpoint's boundary — restored stages are
+    /// skipped, per-attribute transversal results with holes resume
+    /// attribute by attribute — and the final FD set is identical to an
+    /// uninterrupted run's.
+    pub fn resume_governed(
+        &self,
+        r: &Relation,
+        snap: &Snapshot,
+        budget: &Budget,
+        obs: Obs,
+        policy: Option<SnapshotPolicy>,
+    ) -> Result<MiningOutcome<MiningResult>, SnapshotError> {
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
+        snap.validate(DEPMINER_ALGO, db_fingerprint(&db), &self.config_bytes())?;
+        let cp = DepMinerCheckpoint::decode_payload(&snap.payload)?;
+        let mut token = budget.resume_from(cp.spend()).start_observed(obs);
+        if let Some(policy) = policy {
+            token = token.with_snapshots(policy);
+        }
+        Ok(self.mine_db_resumable_with_token(&db, &token, Some(cp)))
+    }
+
     /// [`DepMiner::mine_db`] under a live [`CancelToken`]. See
     /// [`DepMiner::mine_governed`] for the partial-result contract.
     pub fn mine_db_governed(
@@ -183,20 +223,68 @@ impl DepMiner {
         db: &StrippedPartitionDb,
         token: &CancelToken,
     ) -> MiningOutcome<MiningResult> {
+        self.mine_db_resumable_with_token(db, token, None)
+    }
+
+    /// The governed pipeline, optionally fast-forwarded to a
+    /// checkpoint's boundary.
+    fn mine_db_resumable_with_token(
+        &self,
+        db: &StrippedPartitionDb,
+        token: &CancelToken,
+        resume: Option<DepMinerCheckpoint>,
+    ) -> MiningOutcome<MiningResult> {
         let arity = db.arity();
         let mut stages: Vec<StageReport> = Vec::new();
         let _pipeline_span = token.observer().span("depminer");
 
-        let t1 = Instant::now();
-        let (ag, agree_err) = agree_sets_governed(db, self.strategy, self.parallelism, token);
-        let t_agree = t1.elapsed();
-        stages.push(StageReport {
-            stage: Stage::AgreeSets,
-            completed: agree_err.is_none(),
-            processed: token.couples(),
-            planned: None,
-            note: format!("{} distinct non-empty agree sets", ag.sets.len()),
-        });
+        // Frame identity, computed once when snapshots can happen.
+        let snapshot_id = (token.snapshots_armed() || resume.is_some())
+            .then(|| (db_fingerprint(db), self.config_bytes()));
+        let offer = |make: &dyn Fn() -> DepMinerCheckpoint| {
+            if let Some((hash, config)) = &snapshot_id {
+                token.offer_snapshot_with(|| make().into_snapshot(*hash, config.clone()));
+            }
+        };
+        let (resume_agree, resume_max, resume_families) = match resume {
+            Some(cp) => (cp.agree, cp.max, cp.families),
+            None => (None, None, Vec::new()),
+        };
+
+        let restored = |stage: Stage, processed: u64| StageReport {
+            stage,
+            completed: true,
+            processed,
+            planned: Some(arity as u64),
+            note: "restored from snapshot".into(),
+            elapsed: Duration::ZERO,
+        };
+        let (ag, agree_err, t_agree) = match resume_agree {
+            Some(ag) => {
+                token
+                    .observer()
+                    .add(depminer_govern::Counter::ResumeLevelsSkipped, 1);
+                let mut report = restored(Stage::AgreeSets, token.couples());
+                report.planned = None;
+                stages.push(report);
+                (ag, None, Duration::ZERO)
+            }
+            None => {
+                let t1 = Instant::now();
+                let (ag, agree_err) =
+                    agree_sets_governed(db, self.strategy, self.parallelism, token);
+                let t_agree = t1.elapsed();
+                stages.push(StageReport {
+                    stage: Stage::AgreeSets,
+                    completed: agree_err.is_none(),
+                    processed: token.couples(),
+                    planned: None,
+                    note: format!("{} distinct non-empty agree sets", ag.sets.len()),
+                    elapsed: t_agree,
+                });
+                (ag, agree_err, t_agree)
+            }
+        };
         let timings = |t_cmax: Duration, t_lhs: Duration| PhaseTimings {
             preprocess: Duration::ZERO,
             agree_sets: t_agree,
@@ -209,10 +297,15 @@ impl DepMiner {
             processed: 0,
             planned: Some(arity as u64),
             note: "skipped: an earlier stage was cut off".into(),
+            elapsed: Duration::ZERO,
         };
         if let Some(why) = agree_err {
             // Incomplete agree sets poison everything downstream: no FD can
-            // be claimed, so the structural tables stay empty.
+            // be claimed, so the structural tables stay empty. Nothing is
+            // resumable from here either — a pending boundary snapshot (if
+            // any) is flushed, but an agree-stage trip on a fresh run has
+            // none to flush.
+            token.flush_snapshot();
             stages.push(skipped(Stage::MaxSets));
             stages.push(skipped(Stage::Transversals));
             let result = MiningResult {
@@ -231,43 +324,82 @@ impl DepMiner {
             return MiningOutcome::partial(result, why, stages);
         }
 
+        // Boundary 1 (§9.2): agree sets are complete. Offer them so a
+        // trip in a later stage flushes at least this much to disk.
+        offer(&|| DepMinerCheckpoint {
+            agree: Some(ag.clone()),
+            max: None,
+            families: Vec::new(),
+            couples: token.couples(),
+            candidates: token.candidates(),
+        });
+
         let t2 = Instant::now();
-        let max_sets = match cmax_sets_governed(&ag, self.parallelism, token) {
-            Ok(ms) => ms,
-            Err(why) => {
-                stages.push(skipped(Stage::MaxSets));
-                stages.push(skipped(Stage::Transversals));
-                let result = MiningResult {
-                    schema: db.schema().clone(),
-                    n_rows: db.n_rows(),
-                    agree_sets: ag,
-                    max_sets: MaxSets {
-                        max: vec![Vec::new(); arity],
-                        cmax: vec![Vec::new(); arity],
-                        arity,
-                    },
-                    lhs: vec![Vec::new(); arity],
-                    fds: Vec::new(),
-                    timings: timings(t2.elapsed(), Duration::ZERO),
-                };
-                return MiningOutcome::partial(result, why, stages);
+        let (max_sets, t_cmax) = match resume_max {
+            Some(ms) => {
+                token
+                    .observer()
+                    .add(depminer_govern::Counter::ResumeLevelsSkipped, 1);
+                stages.push(restored(Stage::MaxSets, arity as u64));
+                (ms, Duration::ZERO)
             }
+            None => match cmax_sets_governed(&ag, self.parallelism, token) {
+                Ok(ms) => {
+                    let t_cmax = t2.elapsed();
+                    if audits_enabled() {
+                        enforce(ms.audit(&ag));
+                    }
+                    stages.push(StageReport {
+                        stage: Stage::MaxSets,
+                        completed: true,
+                        processed: arity as u64,
+                        planned: Some(arity as u64),
+                        note: "maximal sets and complements derived per attribute".into(),
+                        elapsed: t_cmax,
+                    });
+                    (ms, t_cmax)
+                }
+                Err(why) => {
+                    // The pending boundary-1 snapshot (agree sets) is what
+                    // a resume restarts from.
+                    token.flush_snapshot();
+                    stages.push(skipped(Stage::MaxSets));
+                    stages.push(skipped(Stage::Transversals));
+                    let result = MiningResult {
+                        schema: db.schema().clone(),
+                        n_rows: db.n_rows(),
+                        agree_sets: ag,
+                        max_sets: MaxSets {
+                            max: vec![Vec::new(); arity],
+                            cmax: vec![Vec::new(); arity],
+                            arity,
+                        },
+                        lhs: vec![Vec::new(); arity],
+                        fds: Vec::new(),
+                        timings: timings(t2.elapsed(), Duration::ZERO),
+                    };
+                    return MiningOutcome::partial(result, why, stages);
+                }
+            },
         };
-        let t_cmax = t2.elapsed();
-        if audits_enabled() {
-            enforce(max_sets.audit(&ag));
-        }
-        stages.push(StageReport {
-            stage: Stage::MaxSets,
-            completed: true,
-            processed: arity as u64,
-            planned: Some(arity as u64),
-            note: "maximal sets and complements derived per attribute".into(),
+
+        // Boundary 2: maximal sets are complete.
+        offer(&|| DepMinerCheckpoint {
+            agree: Some(ag.clone()),
+            max: Some(max_sets.clone()),
+            families: Vec::new(),
+            couples: token.couples(),
+            candidates: token.candidates(),
         });
 
         let t3 = Instant::now();
-        let (families, lhs_err) =
-            left_hand_sides_governed(&max_sets, self.engine, self.parallelism, token);
+        let (families, lhs_err) = left_hand_sides_resume_governed(
+            &max_sets,
+            self.engine,
+            self.parallelism,
+            token,
+            &resume_families,
+        );
         let done = families.iter().filter(|f| f.is_some()).count();
         if audits_enabled() {
             for (a, family) in families.iter().enumerate() {
@@ -279,6 +411,23 @@ impl DepMiner {
                     ));
                 }
             }
+        }
+        match (&lhs_err, &snapshot_id) {
+            (Some(_), Some((hash, config))) if token.snapshots_armed() => {
+                // Boundary 3 is attribute-grained: persist exactly the
+                // families that finished, holes for the rest, so a resume
+                // only re-runs the interrupted attributes.
+                let cp = DepMinerCheckpoint {
+                    agree: Some(ag.clone()),
+                    max: Some(max_sets.clone()),
+                    families: families.clone(),
+                    couples: token.couples(),
+                    candidates: token.candidates(),
+                };
+                token.force_snapshot(&cp.into_snapshot(*hash, config.clone()));
+            }
+            (None, _) => token.discard_snapshot(DEPMINER_ALGO),
+            _ => {}
         }
         // Unprocessed attributes keep an empty family: fd_output then emits
         // no FD with that rhs, so the FD list covers exactly the completed
@@ -305,6 +454,7 @@ impl DepMiner {
                     arity - done
                 )
             },
+            elapsed: t_lhs,
         });
 
         let result = MiningResult {

@@ -26,10 +26,92 @@ pub mod fdtree;
 
 pub use fdtree::LhsTrie;
 
-pub use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
+pub use depminer_govern::{
+    Budget, BudgetExceeded, CancelToken, MiningOutcome, Obs, Snapshot, SnapshotError,
+    SnapshotPolicy, Stage, StageReport,
+};
 
 use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_govern::snapshot::{Dec, Enc};
+use depminer_govern::SnapshotState;
+use depminer_relation::state::{
+    db_fingerprint, put_attrset, put_family, take_attrset, take_family,
+};
 use depminer_relation::{AttrSet, FxHashSet, Relation, StrippedPartitionDb};
+use std::time::{Duration, Instant};
+
+/// Algorithm id stamped into FDEP snapshot frames.
+pub const FDEP_ALGO: &str = "fdep";
+
+/// Resumable FDEP state at a clean boundary: the complete negative
+/// cover plus the inverted-rhs prefix (§9.2). A trip *inside* the
+/// negative-cover scan is not resumable — an incomplete cover poisons
+/// everything downstream — so no snapshot exists until phase 1 is done.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdepCheckpoint {
+    /// The complete negative cover: maximal violated lhs per rhs.
+    pub negative: Vec<Vec<AttrSet>>,
+    /// How many rhs attributes (0..`completed_attrs`) are fully inverted.
+    pub completed_attrs: usize,
+    /// Raw (pre-minimization) FDs emitted by the completed inversions.
+    pub fds: Vec<Fd>,
+    /// Tuple-pair couples the interrupted run charged.
+    pub couples: u64,
+}
+
+impl FdepCheckpoint {
+    /// Serialize into a snapshot payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        put_family(&mut e, &self.negative);
+        e.put_usize(self.completed_attrs);
+        e.put_usize(self.fds.len());
+        for f in &self.fds {
+            put_attrset(&mut e, f.lhs);
+            e.put_usize(f.rhs);
+        }
+        e.put_u64(self.couples);
+        e.into_bytes()
+    }
+
+    /// Decode a snapshot payload; failures are positioned.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut d = Dec::new(bytes);
+        let negative = take_family(&mut d)?;
+        let completed_attrs = d.take_usize()?;
+        let n = d.take_usize()?;
+        let mut fds = Vec::new();
+        for _ in 0..n {
+            let lhs = take_attrset(&mut d)?;
+            fds.push(Fd::new(lhs, d.take_usize()?));
+        }
+        let couples = d.take_u64()?;
+        d.finish()?;
+        Ok(FdepCheckpoint {
+            negative,
+            completed_attrs,
+            fds,
+            couples,
+        })
+    }
+
+    /// Budget counters the interrupted run already charged.
+    pub fn spend(&self) -> SnapshotState {
+        SnapshotState {
+            couples: self.couples,
+            candidates: 0,
+        }
+    }
+
+    fn into_snapshot(&self, schema_hash: u64) -> Snapshot {
+        Snapshot {
+            algo: FDEP_ALGO.to_string(),
+            schema_hash,
+            config: Vec::new(),
+            payload: self.encode_payload(),
+        }
+    }
+}
 
 /// Result of an FDEP run.
 #[derive(Debug, Clone)]
@@ -65,6 +147,46 @@ impl Fdep {
         self.run_with_token(r, &budget.start())
     }
 
+    /// The configuration bytes stamped into snapshot frames: FDEP has no
+    /// tunables, so the frame carries an empty config.
+    pub fn config_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Resume an interrupted governed run from a snapshot frame.
+    ///
+    /// Refuses loudly (no mining happens) when the frame belongs to a
+    /// different algorithm or a different relation (fingerprint). On
+    /// success the inversion restarts after the checkpoint's inverted-rhs
+    /// prefix (the negative cover is restored, not re-scanned) and the
+    /// final FD set is identical to an uninterrupted run's.
+    pub fn resume_governed(
+        &self,
+        r: &Relation,
+        snap: &Snapshot,
+        budget: &Budget,
+        obs: Obs,
+        policy: Option<SnapshotPolicy>,
+    ) -> Result<MiningOutcome<FdepResult>, SnapshotError> {
+        let db = StrippedPartitionDb::from_relation(r);
+        snap.validate(FDEP_ALGO, db_fingerprint(&db), &self.config_bytes())?;
+        let cp = FdepCheckpoint::decode_payload(&snap.payload)?;
+        if cp.negative.len() != r.arity() {
+            return Err(SnapshotError::Mismatch {
+                what: format!(
+                    "checkpoint covers {} rhs attributes, relation has {}",
+                    cp.negative.len(),
+                    r.arity()
+                ),
+            });
+        }
+        let mut token = budget.resume_from(cp.spend()).start_observed(obs);
+        if let Some(policy) = policy {
+            token = token.with_snapshots(policy);
+        }
+        Ok(self.run_resumable_with_token(r, &token, Some(cp)))
+    }
+
     /// Mines with cooperative budget checkpoints on a caller-held token.
     ///
     /// Partial-result contract: a trip during the **negative cover** scan
@@ -74,110 +196,162 @@ impl Fdep {
     /// of fully inverted rhs attributes — each rhs is independent — and
     /// drops the attribute being inverted when the budget ran out.
     pub fn run_with_token(&self, r: &Relation, token: &CancelToken) -> MiningOutcome<FdepResult> {
+        self.run_resumable_with_token(r, token, None)
+    }
+
+    /// The governed pipeline, optionally fast-forwarded past a
+    /// checkpoint's negative cover and inverted-rhs prefix.
+    fn run_resumable_with_token(
+        &self,
+        r: &Relation,
+        token: &CancelToken,
+        resume: Option<FdepCheckpoint>,
+    ) -> MiningOutcome<FdepResult> {
         let _pipeline_span = token.observer().span("fdep");
         let n = r.arity();
         let db = StrippedPartitionDb::from_relation(r);
+        // Frame identity, computed once when snapshots can happen.
+        let snapshot_id =
+            (token.snapshots_armed() || resume.is_some()).then(|| db_fingerprint(&db));
 
-        // ---- Phase 1: negative cover ---------------------------------
-        // Violated lhs per rhs, kept maximal. A trie per rhs would also
-        // work; the agree-set family is typically small, so a vec + max
-        // filter is simpler and fast.
-        let cover_span = token.observer().span("negative-cover");
-        let ec = db.equivalence_class_ids();
-        let mc = db.maximal_classes();
-        let mut agree: FxHashSet<AttrSet> = FxHashSet::default();
-        let mut done: FxHashSet<(u32, u32)> = FxHashSet::default();
         let mut stopped: Option<BudgetExceeded> = None;
-        'classes: for class in &mc {
-            let pairs = (class.len() * class.len().saturating_sub(1) / 2) as u64;
-            if let Err(why) = token.add_couples(pairs, Stage::NegativeCover) {
-                stopped = Some(why);
-                break 'classes;
-            }
-            for (k, &t) in class.iter().enumerate() {
-                for &u in &class[k + 1..] {
-                    let key = if t < u { (t, u) } else { (u, t) };
-                    if done.insert(key) {
-                        agree.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
+        let (negative, cover_report, mut fds, start_attr) = if let Some(cp) = resume {
+            token.observer().add(
+                depminer_govern::Counter::ResumeLevelsSkipped,
+                1 + cp.completed_attrs as u64,
+            );
+            let report = StageReport {
+                stage: Stage::NegativeCover,
+                completed: true,
+                processed: token.couples(),
+                planned: None,
+                note: "restored from snapshot".into(),
+                elapsed: Duration::ZERO,
+            };
+            (cp.negative, report, cp.fds, cp.completed_attrs)
+        } else {
+            // ---- Phase 1: negative cover -----------------------------
+            // Violated lhs per rhs, kept maximal. A trie per rhs would
+            // also work; the agree-set family is typically small, so a
+            // vec + max filter is simpler and fast.
+            let t1 = Instant::now();
+            let cover_span = token.observer().span("negative-cover");
+            let ec = db.equivalence_class_ids();
+            let mc = db.maximal_classes();
+            let mut agree: FxHashSet<AttrSet> = FxHashSet::default();
+            let mut done: FxHashSet<(u32, u32)> = FxHashSet::default();
+            'classes: for class in &mc {
+                let pairs = (class.len() * class.len().saturating_sub(1) / 2) as u64;
+                if let Err(why) = token.add_couples(pairs, Stage::NegativeCover) {
+                    stopped = Some(why);
+                    break 'classes;
+                }
+                for (k, &t) in class.iter().enumerate() {
+                    for &u in &class[k + 1..] {
+                        let key = if t < u { (t, u) } else { (u, t) };
+                        if done.insert(key) {
+                            agree.insert(intersect_ec(&ec[t as usize], &ec[u as usize]));
+                        }
                     }
                 }
             }
-        }
-        if let Some(why) = stopped {
-            // An incomplete negative cover poisons everything downstream:
-            // claiming an FD whose violation was never scanned would be
-            // silently wrong, so the partial result carries no FDs at all.
-            return MiningOutcome::partial(
-                FdepResult {
-                    fds: Vec::new(),
-                    negative_cover_size: 0,
-                },
-                why,
-                vec![
-                    StageReport {
-                        stage: Stage::NegativeCover,
-                        completed: false,
-                        processed: done.len() as u64,
-                        planned: None,
-                        note: "negative cover incomplete; no FDs can be claimed".into(),
+            if let Some(why) = stopped {
+                // An incomplete negative cover poisons everything
+                // downstream: claiming an FD whose violation was never
+                // scanned would be silently wrong, so the partial result
+                // carries no FDs at all — and nothing is resumable, so no
+                // snapshot is written either.
+                return MiningOutcome::partial(
+                    FdepResult {
+                        fds: Vec::new(),
+                        negative_cover_size: 0,
                     },
-                    StageReport {
-                        stage: Stage::FdepInversion,
-                        completed: false,
-                        processed: 0,
-                        planned: Some(n as u64),
-                        note: "skipped: an earlier stage was cut off".into(),
-                    },
-                ],
-            );
-        }
-        // Does any pair agree on nothing? Equivalent to: the couples above
-        // do not cover all pairs. Cheap exact test: total pair count vs
-        // covered count.
-        let total_pairs = db.n_rows() * db.n_rows().saturating_sub(1) / 2;
-        let has_empty_agree = done.len() < total_pairs;
+                    why,
+                    vec![
+                        StageReport {
+                            stage: Stage::NegativeCover,
+                            completed: false,
+                            processed: done.len() as u64,
+                            planned: None,
+                            note: "negative cover incomplete; no FDs can be claimed".into(),
+                            elapsed: t1.elapsed(),
+                        },
+                        StageReport {
+                            stage: Stage::FdepInversion,
+                            completed: false,
+                            processed: 0,
+                            planned: Some(n as u64),
+                            note: "skipped: an earlier stage was cut off".into(),
+                            elapsed: Duration::ZERO,
+                        },
+                    ],
+                );
+            }
+            // Does any pair agree on nothing? Equivalent to: the couples
+            // above do not cover all pairs. Cheap exact test: total pair
+            // count vs covered count.
+            let total_pairs = db.n_rows() * db.n_rows().saturating_sub(1) / 2;
+            let has_empty_agree = done.len() < total_pairs;
 
-        // Sort the agree family first so the negative-cover lists (and
-        // everything downstream) are independent of hash iteration order.
-        let mut agree_sorted: Vec<AttrSet> = agree.iter().copied().collect();
-        agree_sorted.sort_unstable();
-        let mut negative: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
-        for &y in &agree_sorted {
-            for (a, neg) in negative.iter_mut().enumerate() {
-                if !y.contains(a) {
-                    neg.push(y);
+            // Sort the agree family first so the negative-cover lists (and
+            // everything downstream) are independent of hash iteration
+            // order.
+            let mut agree_sorted: Vec<AttrSet> = agree.iter().copied().collect();
+            agree_sorted.sort_unstable();
+            let mut negative: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
+            for &y in &agree_sorted {
+                for (a, neg) in negative.iter_mut().enumerate() {
+                    if !y.contains(a) {
+                        neg.push(y);
+                    }
                 }
             }
-        }
-        for neg in &mut negative {
-            depminer_relation::retain_maximal(neg);
-        }
-        if has_empty_agree {
-            // ∅ → A is violated for every non-constant A with no recorded
-            // violation… in fact for *every* A: two tuples disagreeing
-            // everywhere disagree on A. (If A were constant no such pair
-            // could exist.)
             for neg in &mut negative {
-                if neg.is_empty() {
-                    neg.push(AttrSet::empty());
+                depminer_relation::retain_maximal(neg);
+            }
+            if has_empty_agree {
+                // ∅ → A is violated for every non-constant A with no
+                // recorded violation… in fact for *every* A: two tuples
+                // disagreeing everywhere disagree on A. (If A were
+                // constant no such pair could exist.)
+                for neg in &mut negative {
+                    if neg.is_empty() {
+                        neg.push(AttrSet::empty());
+                    }
                 }
             }
-        }
-        let negative_cover_size = negative.iter().map(Vec::len).sum();
-        let cover_report = StageReport {
-            stage: Stage::NegativeCover,
-            completed: true,
-            processed: done.len() as u64,
-            planned: Some(total_pairs as u64),
-            note: format!("{negative_cover_size} maximal violated lhs across all rhs"),
+            let negative_cover_size: usize = negative.iter().map(Vec::len).sum();
+            drop(cover_span);
+            let report = StageReport {
+                stage: Stage::NegativeCover,
+                completed: true,
+                processed: done.len() as u64,
+                planned: Some(total_pairs as u64),
+                note: format!("{negative_cover_size} maximal violated lhs across all rhs"),
+                elapsed: t1.elapsed(),
+            };
+            (negative, report, Vec::new(), 0)
         };
+        let negative_cover_size: usize = negative.iter().map(Vec::len).sum();
 
         // ---- Phase 2: invert into the positive cover ------------------
-        drop(cover_span);
+        let t2 = Instant::now();
         let _invert_span = token.observer().span("fdep-inversion");
-        let mut fds: Vec<Fd> = Vec::new();
         let mut completed_attrs = n;
-        'invert: for (a, neg) in negative.iter().enumerate() {
+        'invert: for (a, neg) in negative.iter().enumerate().skip(start_attr) {
+            // Boundary snapshot: the inverted-rhs prefix 0..a is clean —
+            // offer it before this attribute charges any budget.
+            if let Some(hash) = snapshot_id {
+                token.offer_snapshot_with(|| {
+                    let cp = FdepCheckpoint {
+                        negative: negative.clone(),
+                        completed_attrs: a,
+                        fds: fds.clone(),
+                        couples: token.couples(),
+                    };
+                    cp.into_snapshot(hash)
+                });
+            }
             if let Err(why) = token.check(Stage::FdepInversion) {
                 stopped = Some(why);
                 completed_attrs = a;
@@ -230,6 +404,11 @@ impl Fdep {
             fds: minimal,
             negative_cover_size,
         };
+        if stopped.is_some() {
+            token.flush_snapshot();
+        } else {
+            token.discard_snapshot(FDEP_ALGO);
+        }
         let invert_report = StageReport {
             stage: Stage::FdepInversion,
             completed: stopped.is_none(),
@@ -244,6 +423,7 @@ impl Fdep {
                     n - completed_attrs
                 )
             },
+            elapsed: t2.elapsed(),
         };
         match stopped {
             Some(why) => MiningOutcome::partial(result, why, vec![cover_report, invert_report]),

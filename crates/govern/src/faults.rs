@@ -22,6 +22,35 @@ pub enum FaultKind {
     Panic,
     /// Trip the memory budget, simulating allocation exhaustion.
     MemoryExhaust,
+    /// Truncate the n-th snapshot write after `at_byte` bytes and let the
+    /// rename proceed anyway — the worst-case torn write a crash between
+    /// `write` and `fsync` could leave behind. Targets the snapshot
+    /// writer, not the checkpoint hook.
+    TornWrite {
+        /// Bytes of the frame that survive; the rest is cut off.
+        at_byte: u64,
+    },
+    /// Flip one bit of the n-th snapshot frame before it reaches disk,
+    /// simulating silent media corruption. Targets the snapshot writer,
+    /// not the checkpoint hook.
+    BitFlip {
+        /// Bit offset into the frame (wrapped to the frame length).
+        offset: u64,
+    },
+}
+
+impl FaultKind {
+    /// `true` for the kinds that corrupt the snapshot writer's output
+    /// instead of firing at a cooperative checkpoint. The checkpoint
+    /// hook ignores these plans entirely (it must not consume their
+    /// one-shot ordinal); only [`write corruption`](crate::CancelToken)
+    /// in the snapshot path consults them.
+    pub fn targets_writer(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::TornWrite { .. } | FaultKind::BitFlip { .. }
+        )
+    }
 }
 
 /// A one-shot fault armed at a specific checkpoint ordinal.
@@ -46,6 +75,11 @@ impl FaultPlan {
     /// The checkpoint ordinal this plan fires at.
     pub fn at(&self) -> u64 {
         self.at
+    }
+
+    /// The fault this plan injects.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
     }
 
     /// Checkpoints observed so far (diagnostics; lets a sweep size its

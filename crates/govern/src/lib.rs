@@ -33,6 +33,9 @@ use std::time::{Duration, Instant};
 
 #[cfg(feature = "faults")]
 pub mod faults;
+pub mod snapshot;
+
+pub use snapshot::{Snapshot, SnapshotError, SnapshotPolicy, SnapshotState};
 
 /// Re-export of the observability subsystem: stage crates depend on
 /// `govern` already, so they reach spans and counters through
@@ -165,6 +168,12 @@ pub struct Budget {
     /// Approximate cap on bytes of tracked working memory (couple
     /// buffers, level vectors, partition products).
     pub max_memory_bytes: Option<u64>,
+    /// Agree-set couples already charged by an interrupted run this one
+    /// resumes; seeded into the token so spend accounting continues
+    /// instead of restarting (see [`Budget::resume_from`]).
+    pub carry_couples: u64,
+    /// Lattice candidates already charged by the interrupted run.
+    pub carry_candidates: u64,
 }
 
 impl Budget {
@@ -177,6 +186,8 @@ impl Budget {
             max_level: None,
             max_candidates: None,
             max_memory_bytes: None,
+            carry_couples: 0,
+            carry_candidates: 0,
         }
     }
 
@@ -210,6 +221,16 @@ impl Budget {
         self
     }
 
+    /// Resumes spend accounting from a checkpoint: the couples and
+    /// candidates the interrupted run already charged are pre-loaded
+    /// into the token's counters, so a `--max-couples`-style cap covers
+    /// the *whole* logical run, not each resume attempt separately.
+    pub fn resume_from(mut self, state: SnapshotState) -> Self {
+        self.carry_couples = state.couples;
+        self.carry_candidates = state.candidates;
+        self
+    }
+
     /// `true` when no limit is set.
     pub fn is_unlimited(&self) -> bool {
         *self == Budget::unlimited()
@@ -235,13 +256,14 @@ impl Budget {
                 deadline: self.timeout.map(|t| Instant::now() + t),
                 checks: AtomicU64::new(0),
                 max_couples: self.max_couples.unwrap_or(u64::MAX),
-                couples: AtomicU64::new(0),
+                couples: AtomicU64::new(self.carry_couples),
                 max_candidates: self.max_candidates.unwrap_or(u64::MAX),
-                candidates: AtomicU64::new(0),
+                candidates: AtomicU64::new(self.carry_candidates),
                 max_level: self.max_level.unwrap_or(usize::MAX),
                 max_memory: self.max_memory_bytes.unwrap_or(u64::MAX),
                 memory: AtomicU64::new(0),
                 obs,
+                snapshots: None,
                 #[cfg(feature = "faults")]
                 fault: None,
             }),
@@ -265,6 +287,14 @@ impl Budget {
             Arc::get_mut(&mut token.state).expect("freshly started token has no other handles");
         state.fault = Some(plan);
         token
+    }
+
+    /// Starts the budget with a [`SnapshotPolicy`] attached: governed
+    /// miners offer resumable state at their clean boundaries and the
+    /// policy decides what reaches disk (always on trip; optionally
+    /// every N boundaries / T seconds).
+    pub fn start_with_snapshots(&self, policy: SnapshotPolicy) -> CancelToken {
+        self.start().with_snapshots(policy)
     }
 }
 
@@ -298,6 +328,9 @@ struct TokenState {
     /// Observer fed by the work-recording checkpoints; the disabled
     /// handle keeps the hot path at one extra branch.
     obs: Obs,
+    /// Where and when checkpoint snapshots reach disk; `None` leaves the
+    /// offer hooks as a single branch.
+    snapshots: Option<SnapshotPolicy>,
     #[cfg(feature = "faults")]
     fault: Option<faults::FaultPlan>,
 }
@@ -483,6 +516,130 @@ impl CancelToken {
         &self.state.obs
     }
 
+    /// Attaches a snapshot policy to a freshly started token (same
+    /// single-handle restriction as arming a fault plan).
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        let state =
+            Arc::get_mut(&mut self.state).expect("freshly started token has no other handles");
+        state.snapshots = Some(policy);
+        self
+    }
+
+    /// The attached snapshot policy, if any.
+    pub fn snapshot_policy(&self) -> Option<&SnapshotPolicy> {
+        self.state.snapshots.as_ref()
+    }
+
+    /// `true` when a snapshot policy is attached — miners gate the cost
+    /// of building checkpoint state on this, so ungoverned and
+    /// policy-less runs pay one branch per boundary.
+    pub fn snapshots_armed(&self) -> bool {
+        self.state.snapshots.is_some()
+    }
+
+    /// Offer resumable state at a clean boundary. The policy writes it
+    /// when due and otherwise retains it for an on-trip flush. Returns
+    /// `true` when a file reached disk (best-effort: write errors are
+    /// recorded on the policy, never propagated into the mine).
+    pub fn offer_snapshot(&self, snap: &Snapshot) -> bool {
+        let Some(policy) = &self.state.snapshots else {
+            return false;
+        };
+        let _g = self.state.obs.span("snapshot-offer");
+        let wrote = policy.offer(&snap.algo, snap.encode(), || self.writer_corruption());
+        if wrote {
+            self.state.obs.add(Counter::SnapshotsWritten, 1);
+        }
+        wrote
+    }
+
+    /// Lazy variant of [`CancelToken::offer_snapshot`]: `make` builds
+    /// the frame only when the policy actually needs the bytes (a write
+    /// is due, or the retained trip-flush state has gone stale). Miners
+    /// use this at hot boundaries so an armed-but-idle policy costs a
+    /// branch and a clock read per boundary, not a checkpoint clone +
+    /// encode. Returns `true` when a file reached disk.
+    pub fn offer_snapshot_with<F: FnOnce() -> Snapshot>(&self, make: F) -> bool {
+        let Some(policy) = &self.state.snapshots else {
+            return false;
+        };
+        let _g = self.state.obs.span("snapshot-offer");
+        let wrote = policy.offer_with(
+            || {
+                let snap = make();
+                (snap.algo.clone(), snap.encode())
+            },
+            || self.writer_corruption(),
+        );
+        if wrote {
+            self.state.obs.add(Counter::SnapshotsWritten, 1);
+        }
+        wrote
+    }
+
+    /// Write `snap` immediately, bypassing the policy's due check —
+    /// used for on-trip states assembled after a fan-out returns (e.g.
+    /// per-attribute transversal progress).
+    pub fn force_snapshot(&self, snap: &Snapshot) -> bool {
+        let Some(policy) = &self.state.snapshots else {
+            return false;
+        };
+        let _g = self.state.obs.span("snapshot-write");
+        let wrote = policy.force(&snap.algo, snap.encode(), || self.writer_corruption());
+        if wrote {
+            self.state.obs.add(Counter::SnapshotsWritten, 1);
+        }
+        wrote
+    }
+
+    /// Flush the last offered-but-unwritten boundary state; miners call
+    /// this when a budget trips so the on-disk snapshot is always the
+    /// newest clean boundary.
+    pub fn flush_snapshot(&self) -> bool {
+        let Some(policy) = &self.state.snapshots else {
+            return false;
+        };
+        let _g = self.state.obs.span("snapshot-write");
+        let wrote = policy.flush(|| self.writer_corruption());
+        if wrote {
+            self.state.obs.add(Counter::SnapshotsWritten, 1);
+        }
+        wrote
+    }
+
+    /// Drop pending state and delete `algo`'s snapshot file — called on
+    /// clean completion so nothing stale is left to resume.
+    pub fn discard_snapshot(&self, algo: &str) {
+        if let Some(policy) = &self.state.snapshots {
+            policy.discard(algo);
+        }
+    }
+
+    /// Corruption the armed fault plan injects into the *next* snapshot
+    /// write, if any. Consumes the plan's one-shot ordinal per write, so
+    /// `at` counts snapshot writes for writer-targeting kinds.
+    #[cfg(feature = "faults")]
+    fn writer_corruption(&self) -> Option<snapshot::WriteCorruption> {
+        let plan = self.state.fault.as_ref()?;
+        if !plan.kind().targets_writer() {
+            return None;
+        }
+        match plan.fire()? {
+            faults::FaultKind::TornWrite { at_byte } => {
+                Some(snapshot::WriteCorruption::Torn { at_byte })
+            }
+            faults::FaultKind::BitFlip { offset } => {
+                Some(snapshot::WriteCorruption::BitFlip { offset })
+            }
+            _ => None,
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    fn writer_corruption(&self) -> Option<snapshot::WriteCorruption> {
+        None
+    }
+
     /// Couples recorded so far (diagnostics).
     pub fn couples(&self) -> u64 {
         self.state.couples.load(Ordering::Relaxed)
@@ -542,6 +699,12 @@ impl CancelToken {
         let Some(plan) = &self.state.fault else {
             return Ok(());
         };
+        // Writer-targeting plans fire in the snapshot write path, not at
+        // checkpoints — consuming their ordinal here would disarm them
+        // before the writer ever saw the fault.
+        if plan.kind().targets_writer() {
+            return Ok(());
+        }
         match plan.fire() {
             Some(faults::FaultKind::Cancel) => Err(self.trip(
                 Resource::InjectedFault,
@@ -562,7 +725,10 @@ impl CancelToken {
                 Some(stage),
                 format!("injected allocation exhaustion at checkpoint {}", plan.at()),
             )),
-            None => Ok(()),
+            // Unreachable: writer-targeting kinds early-return above.
+            Some(faults::FaultKind::TornWrite { .. })
+            | Some(faults::FaultKind::BitFlip { .. })
+            | None => Ok(()),
         }
     }
 }
@@ -582,6 +748,10 @@ pub struct StageReport {
     /// Free-form context: the unit of `processed`, what is guaranteed,
     /// what is unverified.
     pub note: String,
+    /// Wall time the stage spent before completing or being stopped,
+    /// captured at the existing stage boundaries — so a `[PARTIAL]` run
+    /// shows where the time went, not just what got done.
+    pub elapsed: Duration,
 }
 
 impl fmt::Display for StageReport {
@@ -597,6 +767,9 @@ impl fmt::Display for StageReport {
         }
         if !self.note.is_empty() {
             write!(f, " ({})", self.note)?;
+        }
+        if !self.elapsed.is_zero() {
+            write!(f, " [{:.3}s]", self.elapsed.as_secs_f64())?;
         }
         Ok(())
     }
@@ -820,6 +993,66 @@ mod tests {
     }
 
     #[test]
+    fn resume_from_carries_spend_accounting() {
+        let st = SnapshotState {
+            couples: 95,
+            candidates: 7,
+        };
+        let token = Budget::unlimited()
+            .with_max_couples(100)
+            .resume_from(st)
+            .start();
+        assert_eq!(token.couples(), 95);
+        assert_eq!(token.candidates(), 7);
+        // The cap covers the whole logical run: 95 carried + 5 fresh is
+        // at the limit, one more trips.
+        assert!(token.add_couples(5, Stage::AgreeSets).is_ok());
+        let err = token.add_couples(1, Stage::AgreeSets).unwrap_err();
+        assert_eq!(err.resource, Resource::Couples);
+    }
+
+    #[test]
+    fn token_without_policy_ignores_snapshot_calls() {
+        let token = CancelToken::unlimited();
+        assert!(!token.snapshots_armed());
+        let snap = Snapshot {
+            algo: "tane".into(),
+            schema_hash: 1,
+            config: Vec::new(),
+            payload: Vec::new(),
+        };
+        assert!(!token.offer_snapshot(&snap));
+        assert!(!token.force_snapshot(&snap));
+        assert!(!token.flush_snapshot());
+        token.discard_snapshot("tane");
+    }
+
+    #[test]
+    fn token_snapshot_offer_flush_discard_cycle() {
+        let dir = std::env::temp_dir().join(format!("depminer-govern-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let token = Budget::unlimited().start_with_snapshots(SnapshotPolicy::new(&dir));
+        assert!(token.snapshots_armed());
+        let snap = Snapshot {
+            algo: "tane".into(),
+            schema_hash: 9,
+            config: vec![1],
+            payload: vec![2, 3],
+        };
+        // Trip-only policy: offers retain, flush persists.
+        assert!(!token.offer_snapshot(&snap));
+        assert!(token.flush_snapshot());
+        let path = token.snapshot_policy().unwrap().path_for("tane");
+        let read = snapshot::read_snapshot(&path).unwrap();
+        assert_eq!(read, snap);
+        // Forced writes bypass the due check; discard removes the file.
+        assert!(token.force_snapshot(&snap));
+        token.discard_snapshot("tane");
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn outcome_wrapping_and_diagnostics() {
         let stages = vec![
             StageReport {
@@ -828,6 +1061,7 @@ mod tests {
                 processed: 42,
                 planned: Some(42),
                 note: "couples".into(),
+                elapsed: Duration::ZERO,
             },
             StageReport {
                 stage: Stage::Transversals,
@@ -835,6 +1069,7 @@ mod tests {
                 processed: 3,
                 planned: Some(10),
                 note: "attributes; FDs for unprocessed rhs attributes are missing".into(),
+                elapsed: Duration::from_millis(1500),
             },
         ];
         let why = BudgetExceeded {
@@ -854,6 +1089,10 @@ mod tests {
             text.contains("transversals: partial, 3 processed of 10"),
             "{text}"
         );
+        // Per-stage elapsed time is printed when captured, omitted when
+        // zero (hand-built reports in tests).
+        assert!(text.contains("[1.500s]"), "{text}");
+        assert!(!text.contains("[0.000s]"), "{text}");
         let mapped = outcome.map(|v| v + 1);
         assert_eq!(mapped.result, 8);
         assert!(!mapped.is_complete());

@@ -129,11 +129,17 @@ pub enum Counter {
     /// Partition products computed allocation-free against a reusable
     /// arena (the flat CSR fast path).
     ProductsInPlace,
+    /// Checkpoint snapshot frames persisted by the `govern` snapshot
+    /// policy (due boundary writes, forced writes, and on-trip flushes).
+    SnapshotsWritten,
+    /// Lattice levels / stages / rhs attributes a `resume_governed` run
+    /// skipped because a snapshot already covered them.
+    ResumeLevelsSkipped,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::CouplesScanned,
         Counter::PartitionProducts,
         Counter::AprioriCandidates,
@@ -142,6 +148,8 @@ impl Counter {
         Counter::ArenaHighWaterBytes,
         Counter::PartitionCacheEvictions,
         Counter::ProductsInPlace,
+        Counter::SnapshotsWritten,
+        Counter::ResumeLevelsSkipped,
     ];
 
     /// Number of counters (sizing arrays of atomic slots).
@@ -158,6 +166,8 @@ impl Counter {
             Counter::ArenaHighWaterBytes => "arena_high_water_bytes",
             Counter::PartitionCacheEvictions => "partition_cache_evictions",
             Counter::ProductsInPlace => "products_in_place",
+            Counter::SnapshotsWritten => "snapshots_written",
+            Counter::ResumeLevelsSkipped => "resume_levels_skipped",
         }
     }
 
@@ -172,6 +182,8 @@ impl Counter {
             Counter::ArenaHighWaterBytes => 5,
             Counter::PartitionCacheEvictions => 6,
             Counter::ProductsInPlace => 7,
+            Counter::SnapshotsWritten => 8,
+            Counter::ResumeLevelsSkipped => 9,
         }
     }
 }
@@ -477,6 +489,6 @@ mod tests {
             assert_eq!(c.index(), i);
             assert!(!c.name().is_empty());
         }
-        assert_eq!(Counter::COUNT, 8);
+        assert_eq!(Counter::COUNT, 10);
     }
 }

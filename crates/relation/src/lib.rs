@@ -38,6 +38,7 @@ pub mod relation;
 pub mod sample;
 pub mod schema;
 pub mod spdb;
+pub mod state;
 pub mod stats;
 pub mod value;
 

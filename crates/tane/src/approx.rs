@@ -15,11 +15,20 @@
 //! oracle cross-checks both in tests.
 
 use depminer_fdtheory::{normalize_fds, Fd};
-use depminer_govern::{BudgetExceeded, CancelToken, MiningOutcome, Stage, StageReport};
+use depminer_govern::snapshot::{Dec, Enc, Snapshot};
+use depminer_govern::{
+    Budget, BudgetExceeded, CancelToken, Counter, MiningOutcome, Obs, SnapshotError,
+    SnapshotPolicy, SnapshotState, Stage, StageReport,
+};
+use depminer_relation::state::{
+    db_fingerprint, put_attrset, put_attrset_vec, put_family, take_attrset, take_attrset_vec,
+    take_family,
+};
 use depminer_relation::{
     AttrSet, FlatPartition, FxHashMap, FxHashSet, PartitionArena, Relation, StrippedPartitionDb,
 };
 use std::borrow::Cow;
+use std::time::Instant;
 
 /// Computes `g₃(X → A)` from the stripped partitions of `X` and `X ∪ {A}`.
 ///
@@ -187,6 +196,133 @@ pub struct ApproxFd {
     pub error: f64,
 }
 
+/// Algorithm id stamped into approximate-TANE snapshot frames.
+pub const TANE_APPROX_ALGO: &str = "tane-approx";
+
+/// Resumable state of the approximate levelwise walk at a level
+/// boundary: the frontier whose partitions are rebuilt on load, the
+/// per-rhs minimal lhs found so far, and the FDs already emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxCheckpoint {
+    /// Fully completed lattice levels.
+    pub completed_levels: usize,
+    /// The candidate sets of the next level (partitions are rebuilt from
+    /// the singleton database on load, not persisted).
+    pub frontier: Vec<AttrSet>,
+    /// `found[a]`: minimal approximate lhs discovered so far per rhs.
+    // snapshot boundary type: one inner Vec per rhs attribute, not per
+    // tuple, so the flat layout buys nothing; lint: allow(nested-alloc)
+    pub found: Vec<Vec<AttrSet>>,
+    /// FDs emitted by the completed levels (with their errors).
+    pub out: Vec<ApproxFd>,
+    /// Lattice candidates the interrupted run charged.
+    pub candidates: u64,
+}
+
+impl ApproxCheckpoint {
+    /// Serialize into a snapshot payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u64(self.completed_levels as u64);
+        put_attrset_vec(&mut e, &self.frontier);
+        put_family(&mut e, &self.found);
+        e.put_usize(self.out.len());
+        for afd in &self.out {
+            put_attrset(&mut e, afd.fd.lhs);
+            e.put_usize(afd.fd.rhs);
+            e.put_f64(afd.error);
+        }
+        e.put_u64(self.candidates);
+        e.into_bytes()
+    }
+
+    /// Decode a snapshot payload; failures are positioned.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut d = Dec::new(bytes);
+        let completed_levels = d.take_u64()? as usize;
+        let frontier = take_attrset_vec(&mut d)?;
+        let found = take_family(&mut d)?;
+        let n = d.take_usize()?;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let lhs = take_attrset(&mut d)?;
+            let rhs = d.take_usize()?;
+            out.push(ApproxFd {
+                fd: Fd::new(lhs, rhs),
+                error: d.take_f64()?,
+            });
+        }
+        let candidates = d.take_u64()?;
+        d.finish()?;
+        Ok(ApproxCheckpoint {
+            completed_levels,
+            frontier,
+            found,
+            out,
+            candidates,
+        })
+    }
+
+    /// Budget counters the interrupted run already charged.
+    pub fn spend(&self) -> SnapshotState {
+        SnapshotState {
+            couples: 0,
+            candidates: self.candidates,
+        }
+    }
+
+    fn into_snapshot(&self, schema_hash: u64, config: Vec<u8>) -> Snapshot {
+        Snapshot {
+            algo: TANE_APPROX_ALGO.to_string(),
+            schema_hash,
+            config,
+            payload: self.encode_payload(),
+        }
+    }
+}
+
+/// The configuration bytes stamped into approximate-TANE frames: the
+/// error threshold's exact bit pattern.
+pub fn approx_config_bytes(epsilon: f64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.put_f64(epsilon);
+    e.into_bytes()
+}
+
+/// Resume an interrupted [`approximate_fds_governed`] run from a
+/// snapshot frame.
+///
+/// Refuses loudly when the frame belongs to a different algorithm, a
+/// different relation (fingerprint), or a different `epsilon`. On
+/// success the walk restarts at the checkpoint's frontier and the final
+/// FD set is identical to an uninterrupted run's.
+pub fn resume_approximate_fds_governed(
+    r: &Relation,
+    epsilon: f64,
+    snap: &Snapshot,
+    budget: &Budget,
+    obs: Obs,
+    policy: Option<SnapshotPolicy>,
+) -> Result<MiningOutcome<Vec<ApproxFd>>, SnapshotError> {
+    let db = StrippedPartitionDb::from_relation(r);
+    snap.validate(
+        TANE_APPROX_ALGO,
+        db_fingerprint(&db),
+        &approx_config_bytes(epsilon),
+    )?;
+    let cp = ApproxCheckpoint::decode_payload(&snap.payload)?;
+    let mut token = budget.resume_from(cp.spend()).start_observed(obs);
+    if let Some(policy) = policy {
+        token = token.with_snapshots(policy);
+    }
+    Ok(approximate_fds_resumable_with_token(
+        r,
+        epsilon,
+        &token,
+        Some(cp),
+    ))
+}
+
 /// Discovers all minimal approximate FDs with `g₃ ≤ epsilon`.
 ///
 /// Minimality is with respect to the *approximate* validity: `X → A` is
@@ -212,7 +348,19 @@ pub fn approximate_fds_governed(
     epsilon: f64,
     token: &CancelToken,
 ) -> MiningOutcome<Vec<ApproxFd>> {
+    approximate_fds_resumable_with_token(r, epsilon, token, None)
+}
+
+/// The governed levelwise walk, optionally fast-forwarded to a
+/// checkpoint's frontier.
+fn approximate_fds_resumable_with_token(
+    r: &Relation,
+    epsilon: f64,
+    token: &CancelToken,
+    resume: Option<ApproxCheckpoint>,
+) -> MiningOutcome<Vec<ApproxFd>> {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let t0 = Instant::now();
     let stage = Stage::ApproxLevels;
     let _span = token.observer().span("approx-levels");
     let db = StrippedPartitionDb::from_relation(r);
@@ -222,24 +370,13 @@ pub fn approximate_fds_governed(
     let mut labels = vec![u32::MAX; n_rows];
     let mut arena = PartitionArena::new(n_rows);
 
+    // Frame identity, computed once when snapshots can happen.
+    let snapshot_id = (token.snapshots_armed() || resume.is_some())
+        .then(|| (db_fingerprint(&db), approx_config_bytes(epsilon)));
+
     // found[a]: minimal approximate lhs discovered so far for rhs a —
     // arity outer entries of short lists; lint: allow(nested-alloc)
     let mut found: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
-
-    // The empty-lhs partition (single class).
-    let p_empty = FlatPartition::for_set(r, AttrSet::empty());
-
-    // ∅ → A first.
-    for (a, found_a) in found.iter_mut().enumerate() {
-        let e = g3_error(&p_empty, db.partition(a), n_rows, &mut labels);
-        if e <= epsilon {
-            out.push(ApproxFd {
-                fd: Fd::new(AttrSet::empty(), a),
-                error: e,
-            });
-            found_a.push(AttrSet::empty());
-        }
-    }
 
     // Levelwise over lhs sets.
     let mut level: Vec<AttrSet> = (0..n).map(AttrSet::singleton).collect();
@@ -251,7 +388,81 @@ pub fn approximate_fds_governed(
     let mut l = 1usize;
     let mut completed = 0usize;
     let mut stopped: Option<BudgetExceeded> = None;
+
+    if let Some(cp) = resume {
+        // Fast-forward: restore the walk's state and rebuild the
+        // frontier's partitions from the singleton database (products are
+        // canonical, so the rebuilt partitions match the originals).
+        let _rebuild = token.observer().span("approx-resume-rebuild");
+        completed = cp.completed_levels;
+        l = completed + 1;
+        level = cp.frontier;
+        found = cp.found;
+        out = cp.out;
+        token
+            .observer()
+            .add(Counter::ResumeLevelsSkipped, completed as u64);
+        if l > 1 {
+            parts = FxHashMap::default();
+            for &x in &level {
+                if let Err(why) = token.check(stage) {
+                    stopped = Some(why);
+                    break;
+                }
+                let mut attrs = x.iter();
+                let first = attrs.next().expect("lattice sets are non-empty");
+                let mut owned: Option<FlatPartition> = None;
+                for a in attrs {
+                    let left: &FlatPartition = match &owned {
+                        Some(p) => p,
+                        None => db.partition(first),
+                    };
+                    let p = left.product_with(db.partition(a), &mut arena);
+                    if let Some(prev) = owned.take() {
+                        arena.recycle(prev);
+                    }
+                    owned = Some(p);
+                }
+                let p = owned.expect("frontier sets past level 1 have ≥ 2 attributes");
+                parts.insert(x, Cow::Owned(p));
+            }
+            if stopped.is_some() {
+                // The rebuild itself went over budget: surface the
+                // checkpoint's FDs (all validated) as the partial.
+                level.clear();
+            }
+        }
+    } else {
+        // ∅ → A first. (A resumed run restored these with `out`.)
+        let p_empty = FlatPartition::for_set(r, AttrSet::empty());
+        for (a, found_a) in found.iter_mut().enumerate() {
+            let e = g3_error(&p_empty, db.partition(a), n_rows, &mut labels);
+            if e <= epsilon {
+                out.push(ApproxFd {
+                    fd: Fd::new(AttrSet::empty(), a),
+                    error: e,
+                });
+                found_a.push(AttrSet::empty());
+            }
+        }
+    }
+
     'levels: while !level.is_empty() {
+        // Boundary snapshot: the state as of the last completed level is
+        // offered *before* this level charges any budget, so a trip
+        // below flushes exactly this clean boundary to disk.
+        if let Some((hash, config)) = &snapshot_id {
+            token.offer_snapshot_with(|| {
+                let cp = ApproxCheckpoint {
+                    completed_levels: completed,
+                    frontier: level.clone(),
+                    found: found.clone(),
+                    out: out.clone(),
+                    candidates: token.candidates(),
+                };
+                cp.into_snapshot(*hash, config.clone())
+            });
+        }
         if let Err(why) = token
             .enter_level(l, stage)
             .and_then(|()| token.add_candidates(level.len() as u64, stage))
@@ -341,6 +552,11 @@ pub fn approximate_fds_governed(
         l += 1;
     }
 
+    if stopped.is_some() {
+        token.flush_snapshot();
+    } else {
+        token.discard_snapshot(TANE_APPROX_ALGO);
+    }
     out.sort_by_key(|afd| (afd.fd.rhs, afd.fd.lhs));
     token
         .observer()
@@ -354,6 +570,7 @@ pub fn approximate_fds_governed(
             "{} approximate FDs reported; every entry satisfies g3 ≤ ε with minimal lhs",
             out.len()
         ),
+        elapsed: t0.elapsed(),
     };
     match stopped {
         Some(why) => MiningOutcome::partial(out, why, vec![report]),

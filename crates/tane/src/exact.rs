@@ -12,16 +12,22 @@
 //! crafted and random relations.
 
 use depminer_fdtheory::{normalize_fds, Fd};
+use depminer_govern::snapshot::{Dec, Enc, Snapshot};
 use depminer_govern::{
-    Budget, BudgetExceeded, CancelToken, Counter, MiningOutcome, Stage, StageReport,
+    Budget, BudgetExceeded, CancelToken, Counter, MiningOutcome, Obs, SnapshotError,
+    SnapshotPolicy, SnapshotState, Stage, StageReport,
 };
 use depminer_parallel::{par_chunks_governed, par_map, par_map_governed, Parallelism};
+use depminer_relation::state::{db_fingerprint, put_attrset, put_attrset_vec, take_attrset};
 use depminer_relation::{
     AttrSet, FlatPartition, FxHashMap, FxHashSet, PartitionArena, Relation, Schema,
     StrippedPartitionDb,
 };
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Algorithm id stamped into exact-TANE snapshot frames.
+pub const TANE_ALGO: &str = "tane";
 
 /// Lattice levels narrower than this run on the calling thread even under
 /// a parallel setting: the fan-out overhead dominates tiny levels.
@@ -62,6 +68,112 @@ impl TaneResult {
     // per-rhs lhs families, the §5.1 boundary shape; lint: allow(nested-alloc)
     pub fn lhs_families(&self) -> Vec<Vec<AttrSet>> {
         lhs_families_from_fds(&self.fds, self.schema.arity())
+    }
+}
+
+/// Resumable exact-TANE state at a completed-level boundary (DESIGN.md
+/// §12): the level frontier still to be processed, the previous level's
+/// partition errors, the global C⁺ store, and the FDs emitted so far.
+/// Partitions are *not* persisted — the frontier's are rebuilt from the
+/// [`StrippedPartitionDb`] singletons on load, which is sound because
+/// `FlatPartition` products are canonical (classes ordered by first
+/// tuple id) regardless of how the product is associated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaneCheckpoint {
+    /// Lattice levels fully processed (their FDs are all in `fds`).
+    pub completed_levels: usize,
+    /// The next level's node sets, in generation order.
+    pub frontier: Vec<AttrSet>,
+    /// `err(X)` for every level-`completed_levels` node, sorted by set.
+    pub prev_errs: Vec<(AttrSet, u64)>,
+    /// The C⁺ rhs-candidate store (including memoized lookups), sorted.
+    pub cplus: Vec<(AttrSet, AttrSet)>,
+    /// FDs emitted through the completed levels, in emission order.
+    pub fds: Vec<Fd>,
+    /// Lattice candidates charged to the budget so far.
+    pub candidates: u64,
+    /// Partition products computed so far.
+    pub products: u64,
+}
+
+impl TaneCheckpoint {
+    /// Serialize into a snapshot payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_usize(self.completed_levels);
+        put_attrset_vec(&mut e, &self.frontier);
+        e.put_usize(self.prev_errs.len());
+        for &(x, v) in &self.prev_errs {
+            put_attrset(&mut e, x);
+            e.put_u64(v);
+        }
+        e.put_usize(self.cplus.len());
+        for &(x, c) in &self.cplus {
+            put_attrset(&mut e, x);
+            put_attrset(&mut e, c);
+        }
+        e.put_usize(self.fds.len());
+        for fd in &self.fds {
+            put_attrset(&mut e, fd.lhs);
+            e.put_usize(fd.rhs);
+        }
+        e.put_u64(self.candidates);
+        e.put_u64(self.products);
+        e.into_bytes()
+    }
+
+    /// Decode a snapshot payload; failures are positioned.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut d = Dec::new(bytes);
+        let completed_levels = d.take_usize()?;
+        let frontier = depminer_relation::state::take_attrset_vec(&mut d)?;
+        let n = d.take_usize()?;
+        let mut prev_errs = Vec::new();
+        for _ in 0..n {
+            let x = take_attrset(&mut d)?;
+            prev_errs.push((x, d.take_u64()?));
+        }
+        let n = d.take_usize()?;
+        let mut cplus = Vec::new();
+        for _ in 0..n {
+            let x = take_attrset(&mut d)?;
+            cplus.push((x, take_attrset(&mut d)?));
+        }
+        let n = d.take_usize()?;
+        let mut fds = Vec::new();
+        for _ in 0..n {
+            let lhs = take_attrset(&mut d)?;
+            fds.push(Fd::new(lhs, d.take_usize()?));
+        }
+        let candidates = d.take_u64()?;
+        let products = d.take_u64()?;
+        d.finish()?;
+        Ok(TaneCheckpoint {
+            completed_levels,
+            frontier,
+            prev_errs,
+            cplus,
+            fds,
+            candidates,
+            products,
+        })
+    }
+
+    /// Budget counters the interrupted run already charged.
+    pub fn spend(&self) -> SnapshotState {
+        SnapshotState {
+            couples: 0,
+            candidates: self.candidates,
+        }
+    }
+
+    fn into_snapshot(&self, schema_hash: u64, config: Vec<u8>) -> Snapshot {
+        Snapshot {
+            algo: TANE_ALGO.to_string(),
+            schema_hash,
+            config,
+            payload: self.encode_payload(),
+        }
     }
 }
 
@@ -167,12 +279,57 @@ impl Tane {
         self.run_db_governed(&db, token)
     }
 
+    /// The configuration bytes stamped into snapshot frames: the two
+    /// pruning switches. Parallelism is deliberately excluded — the
+    /// mined FDs are identical at every thread count, so a snapshot
+    /// written at `--threads 4` resumes fine at `--threads 1`.
+    pub fn config_bytes(&self) -> Vec<u8> {
+        vec![self.rhs_pruning as u8, self.key_pruning as u8]
+    }
+
+    /// Resume an interrupted governed run from a snapshot frame.
+    ///
+    /// Refuses loudly (no mining happens) when the frame belongs to a
+    /// different algorithm, a different relation (fingerprint), or a
+    /// different pruning configuration. On success the walk restarts at
+    /// the checkpoint's frontier — completed levels are skipped, their
+    /// partitions rebuilt from the singleton database — and the final FD
+    /// set is identical to an uninterrupted run's.
+    pub fn resume_governed(
+        &self,
+        r: &Relation,
+        snap: &Snapshot,
+        budget: &Budget,
+        obs: Obs,
+        policy: Option<SnapshotPolicy>,
+    ) -> Result<MiningOutcome<TaneResult>, SnapshotError> {
+        let db = StrippedPartitionDb::from_relation_with(r, self.parallelism);
+        snap.validate(TANE_ALGO, db_fingerprint(&db), &self.config_bytes())?;
+        let cp = TaneCheckpoint::decode_payload(&snap.payload)?;
+        let mut token = budget.resume_from(cp.spend()).start_observed(obs);
+        if let Some(policy) = policy {
+            token = token.with_snapshots(policy);
+        }
+        Ok(self.run_db_resumable_with_token(&db, &token, Some(cp)))
+    }
+
     /// [`Tane::run_db`] under a live [`CancelToken`]. See
     /// [`Tane::run_governed`] for the partial-result contract.
     pub fn run_db_governed(
         &self,
         db: &StrippedPartitionDb,
         token: &CancelToken,
+    ) -> MiningOutcome<TaneResult> {
+        self.run_db_resumable_with_token(db, token, None)
+    }
+
+    /// The governed level walk, optionally fast-forwarded to a
+    /// checkpoint's frontier.
+    fn run_db_resumable_with_token(
+        &self,
+        db: &StrippedPartitionDb,
+        token: &CancelToken,
+        resume: Option<TaneCheckpoint>,
     ) -> MiningOutcome<TaneResult> {
         let t0 = Instant::now();
         let _span = token.observer().span("tane");
@@ -210,8 +367,89 @@ impl Tane {
         let mut l = 1usize;
         let mut stopped: Option<BudgetExceeded> = None;
         let mut completed_levels = 0usize;
+        // Frame identity, computed once when snapshots can happen.
+        let snapshot_id = (token.snapshots_armed() || resume.is_some())
+            .then(|| (db_fingerprint(db), self.config_bytes()));
+
+        if let Some(cp) = resume {
+            // Fast-forward to the checkpoint's boundary: restore the
+            // walk's state and rebuild the frontier's partitions from the
+            // singleton database (products are canonical, so the rebuilt
+            // partitions match what the interrupted run held).
+            let _rebuild = token.observer().span("tane-resume-rebuild");
+            completed_levels = cp.completed_levels;
+            l = completed_levels + 1;
+            level = cp.frontier;
+            prev_errs = cp
+                .prev_errs
+                .into_iter()
+                .map(|(x, e)| (x, e as usize))
+                .collect();
+            cplus.extend(cp.cplus);
+            fds = cp.fds;
+            stats.candidates = cp.candidates as usize;
+            stats.partition_products = cp.products as usize;
+            stats.levels = completed_levels;
+            token
+                .observer()
+                .add(Counter::ResumeLevelsSkipped, completed_levels as u64);
+            if l > 1 {
+                cache = LevelCache::empty();
+                for &x in &level {
+                    if let Err(why) = token.check(Stage::TaneLevels) {
+                        stopped = Some(why);
+                        break;
+                    }
+                    let mut attrs = x.iter();
+                    let first = attrs.next().expect("lattice sets are non-empty");
+                    let mut owned: Option<FlatPartition> = None;
+                    for a in attrs {
+                        let left: &FlatPartition = match &owned {
+                            Some(p) => p,
+                            None => db.partition(first),
+                        };
+                        let p = left.product_with(db.partition(a), &mut arena);
+                        if let Some(prev) = owned.take() {
+                            arena.recycle(prev);
+                        }
+                        owned = Some(p);
+                    }
+                    let p = owned.expect("frontier sets past level 1 have ≥ 2 attributes");
+                    if let Err(why) = token.reserve_memory(p.heap_bytes() as u64, Stage::TaneLevels)
+                    {
+                        arena.recycle(p);
+                        stopped = Some(why);
+                        break;
+                    }
+                    cache.insert_owned(x, p);
+                }
+                if stopped.is_some() {
+                    // The rebuild itself went over budget: surface the
+                    // checkpoint's FDs (all validated) as the partial.
+                    level.clear();
+                }
+            }
+        }
+
         let levels_span = token.observer().span("tane-levels");
         while !level.is_empty() {
+            // Boundary snapshot: the state as of the last completed level
+            // is offered *before* this level charges any budget, so a
+            // trip below flushes exactly this clean boundary to disk.
+            if let Some((hash, config)) = &snapshot_id {
+                token.offer_snapshot_with(|| {
+                    let cp = TaneCheckpoint {
+                        completed_levels,
+                        frontier: level.clone(),
+                        prev_errs: sorted_err_pairs(&prev_errs),
+                        cplus: sorted_set_pairs(&cplus),
+                        fds: fds.clone(),
+                        candidates: stats.candidates as u64,
+                        products: stats.partition_products as u64,
+                    };
+                    cp.into_snapshot(*hash, config.clone())
+                });
+            }
             // Level entry is the primary checkpoint: depth and candidate
             // budgets are charged before any of the level's work starts, so
             // a trip leaves the FD list exactly at the previous level's
@@ -350,6 +588,13 @@ impl Tane {
         if hw > 0 {
             token.observer().add(Counter::ArenaHighWaterBytes, hw);
         }
+        // On a trip, persist the newest clean boundary; on completion,
+        // leave nothing stale to resume.
+        if stopped.is_some() {
+            token.flush_snapshot();
+        } else {
+            token.discard_snapshot(TANE_ALGO);
+        }
 
         normalize_fds(&mut fds);
         token
@@ -372,12 +617,28 @@ impl Tane {
                 result.stats.candidates,
                 completed_levels + 1
             ),
+            elapsed: result.stats.elapsed,
         };
         match stopped {
             Some(why) => MiningOutcome::partial(result, why, vec![report]),
             None => MiningOutcome::complete(result, vec![report]),
         }
     }
+}
+
+/// Deterministic (sorted) pair list of a level's error map, for stable
+/// snapshot bytes.
+fn sorted_err_pairs(m: &FxHashMap<AttrSet, usize>) -> Vec<(AttrSet, u64)> {
+    let mut v: Vec<(AttrSet, u64)> = m.iter().map(|(&x, &e)| (x, e as u64)).collect();
+    v.sort_unstable_by_key(|&(x, _)| x);
+    v
+}
+
+/// Deterministic (sorted) pair list of the C⁺ store.
+fn sorted_set_pairs(m: &FxHashMap<AttrSet, AttrSet>) -> Vec<(AttrSet, AttrSet)> {
+    let mut v: Vec<(AttrSet, AttrSet)> = m.iter().map(|(&x, &c)| (x, c)).collect();
+    v.sort_unstable_by_key(|&(x, _)| x);
+    v
 }
 
 /// Looks up `C⁺(Y)`, computing it on demand (memoized) as the intersection

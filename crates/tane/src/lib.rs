@@ -34,10 +34,14 @@ pub mod armstrong_ext;
 pub mod exact;
 
 pub use approx::{
-    approximate_fds, approximate_fds_brute, approximate_fds_governed, g1_error, g1_error_of,
-    g2_error, g2_error_of, g3_error, g3_error_of, ApproxFd,
+    approx_config_bytes, approximate_fds, approximate_fds_brute, approximate_fds_governed,
+    g1_error, g1_error_of, g2_error, g2_error_of, g3_error, g3_error_of,
+    resume_approximate_fds_governed, ApproxCheckpoint, ApproxFd, TANE_APPROX_ALGO,
 };
 pub use armstrong_ext::{max_sets_from_fds, max_union_from_fds};
-pub use depminer_govern::{Budget, BudgetExceeded, CancelToken, MiningOutcome, StageReport};
+pub use depminer_govern::{
+    Budget, BudgetExceeded, CancelToken, MiningOutcome, Obs, Snapshot, SnapshotError,
+    SnapshotPolicy, StageReport,
+};
 pub use depminer_parallel::Parallelism;
-pub use exact::{lhs_families_from_fds, Tane, TaneResult, TaneStats};
+pub use exact::{lhs_families_from_fds, Tane, TaneCheckpoint, TaneResult, TaneStats, TANE_ALGO};

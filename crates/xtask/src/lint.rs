@@ -2,7 +2,7 @@
 //! workspace's own sources, built on the lossless [`crate::lexer`] and
 //! the [`crate::flow`] block/flow analyzer.
 //!
-//! Thirteen project-specific rules (see DESIGN.md §7.1):
+//! Fourteen project-specific rules (see DESIGN.md §7.1):
 //!
 //! | rule                  | level | what it flags                                          |
 //! |-----------------------|-------|--------------------------------------------------------|
@@ -14,6 +14,7 @@
 //! | `raw-thread-spawn`    | line  | `thread::spawn`/`thread::Builder` outside the parallel runtime |
 //! | `unchecked-loop`      | line  | lattice `while`/`loop` with no budget checkpoint at all |
 //! | `nested-alloc`        | line  | `Vec<Vec<…>>` in the flat-layout hot-path modules      |
+//! | `raw-snapshot-write`  | line  | snapshot-zone file writes bypassing the atomic helper  |
 //! | `par-closure-capture` | flow  | `&mut` upvars / interior mutability / captured-binding mutation in `par_map`-family closures |
 //! | `budget-coverage`     | flow  | lattice loop polling a checkpoint on some paths but not all |
 //! | `safety-comment`      | flow  | `unsafe` without an adjacent `// SAFETY:` justification |
@@ -43,7 +44,7 @@ use crate::rules;
 use std::fmt;
 
 /// Every lint rule's machine name, in reporting order.
-pub const RULES: [&str; 13] = [
+pub const RULES: [&str; 14] = [
     "no-panic",
     "default-hasher",
     "unordered-iter",
@@ -52,6 +53,7 @@ pub const RULES: [&str; 13] = [
     "raw-thread-spawn",
     "unchecked-loop",
     "nested-alloc",
+    "raw-snapshot-write",
     "par-closure-capture",
     "budget-coverage",
     "safety-comment",
@@ -278,6 +280,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
         rules::lines::check_raw_thread_spawn(path, &lines, &in_test, &mut out);
         rules::lines::check_unchecked_loop(path, &lines, &in_test, &mut out);
         rules::lines::check_nested_alloc(path, &lines, &in_test, &mut out);
+        rules::lines::check_raw_snapshot_write(path, &lines, &in_test, &mut out);
 
         let sig = crate::flow::significant(source);
         let tree = crate::flow::parse(&sig);
@@ -546,6 +549,54 @@ mod tests {
         assert!(allowed.is_empty(), "{allowed:?}");
         let test_mod = lint_hot(
             "#[cfg(test)]\nmod tests {\n    fn t() -> Vec<Vec<u32>> {\n        Vec::new()\n    }\n}\n",
+        );
+        assert!(test_mod.is_empty(), "{test_mod:?}");
+    }
+
+    const SNAP: &str = "crates/govern/src/snapshot.rs";
+
+    fn lint_snap(body: &str) -> Vec<Diagnostic> {
+        lint_file(SNAP, &format!("{HEADER}{body}"))
+    }
+
+    #[test]
+    fn raw_snapshot_write_flags_direct_file_mutation() {
+        let diags = lint_snap(
+            "fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {\n    fs::write(path, bytes)?;\n    let _f = fs::File::create(path)?;\n    let _o = fs::OpenOptions::new().write(true).open(path)?;\n    fs::rename(path, path)\n}\n",
+        );
+        assert_eq!(
+            rules(&diags),
+            [
+                "raw-snapshot-write",
+                "raw-snapshot-write",
+                "raw-snapshot-write",
+                "raw-snapshot-write"
+            ],
+            "{diags:?}"
+        );
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[3].line, 6);
+    }
+
+    #[test]
+    fn raw_snapshot_write_scope_and_escape_hatch() {
+        let body = "fn save(p: &std::path::Path, b: &[u8]) -> std::io::Result<()> {\n    fs::write(p, b)\n}\n";
+        // Outside the snapshot zone the rule does not apply.
+        let other = lint_file(LIB, &format!("{HEADER}{body}"));
+        assert!(other.is_empty(), "{other:?}");
+        // Reads and deletes are not mutations of the final frame path.
+        let reads = lint_snap(
+            "fn load(p: &std::path::Path) -> std::io::Result<Vec<u8>> {\n    let b = fs::read(p)?;\n    fs::remove_file(p).ok();\n    Ok(b)\n}\n",
+        );
+        assert!(reads.is_empty(), "{reads:?}");
+        // The atomic helper itself carries the named escape hatch.
+        let allowed = lint_snap(
+            "fn atomic(p: &std::path::Path) -> std::io::Result<()> {\n    // lint: allow(raw-snapshot-write) — the helper itself.\n    let _f = fs::File::create(p)?;\n    fs::rename(p, p) // lint: allow(raw-snapshot-write)\n}\n",
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+        // Test modules are exempt.
+        let test_mod = lint_snap(
+            "#[cfg(test)]\nmod tests {\n    fn t(p: &std::path::Path) {\n        let _ = fs::write(p, b\"x\");\n    }\n}\n",
         );
         assert!(test_mod.is_empty(), "{test_mod:?}");
     }

@@ -21,6 +21,10 @@ pub enum Zone {
     /// Partition/agree-set hot paths held to the flat CSR layout: nested
     /// `Vec<Vec<…>>` allocations there need a justification.
     HotPath,
+    /// Snapshot-persistence code: every file mutation must go through
+    /// the atomic tmp+fsync+rename helper so a crash can never leave a
+    /// torn frame at the final path.
+    SnapshotZone,
 }
 
 /// How one map entry matches a workspace-relative path (normalized to
@@ -68,6 +72,10 @@ pub const MODULE_MAP: &[(Matcher, Zone)] = &[
     (Matcher::Suffix("crates/core/src/agree.rs"), Zone::HotPath),
     (Matcher::Suffix("crates/tane/src/exact.rs"), Zone::HotPath),
     (Matcher::Suffix("crates/tane/src/approx.rs"), Zone::HotPath),
+    (
+        Matcher::Suffix("crates/govern/src/snapshot.rs"),
+        Zone::SnapshotZone,
+    ),
 ];
 
 /// `true` when `path` falls in `zone` according to [`MODULE_MAP`].
@@ -146,5 +154,16 @@ mod tests {
         }
         assert!(!in_zone("crates/relation/src/relation.rs", Zone::HotPath));
         assert!(!in_zone("crates/core/src/lhs.rs", Zone::HotPath));
+    }
+
+    #[test]
+    fn snapshot_zone_by_suffix() {
+        assert!(in_zone("crates/govern/src/snapshot.rs", Zone::SnapshotZone));
+        assert!(in_zone(
+            "/abs/checkout/crates/govern/src/snapshot.rs",
+            Zone::SnapshotZone
+        ));
+        assert!(!in_zone("crates/govern/src/lib.rs", Zone::SnapshotZone));
+        assert!(!in_zone("src/cli.rs", Zone::SnapshotZone));
     }
 }

@@ -299,6 +299,42 @@ pub fn check_unchecked_loop(
     }
 }
 
+/// Rule `raw-snapshot-write`: in the snapshot-persistence zone
+/// ([`Zone::SnapshotZone`]) every file mutation must go through the
+/// atomic helper (`.tmp` sibling + `fsync` + rename + directory fsync)
+/// so a crash mid-write can never leave a torn frame at the final
+/// path — a torn frame wastes the user's checkpoint even though the
+/// codec would refuse it. Direct `fs::write`, `File::create`,
+/// `OpenOptions` and `fs::rename` calls are flagged; the helper's own
+/// internals carry `// lint: allow(raw-snapshot-write)` markers.
+pub fn check_raw_snapshot_write(
+    path: &str,
+    lines: &[ScrubbedLine],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !in_zone(path, Zone::SnapshotZone) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || allowed(lines, idx, "raw-snapshot-write") {
+            continue;
+        }
+        for token in ["fs::write", "File::create", "OpenOptions", "fs::rename"] {
+            if has_token(&line.code, token) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "raw-snapshot-write",
+                    message: format!(
+                        "`{token}` in the snapshot zone bypasses the atomic writer; use `atomic_write` (tmp + fsync + rename) so a crash cannot tear the frame at its final path"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Rule `nested-alloc`: a `Vec<Vec<…>>` in a hot-path module
 /// ([`Zone::HotPath`]) is a jagged heap-of-heaps where the flat CSR
 /// forms (`FlatPartition`, `EquivalenceClassIds`, or a payload+offsets

@@ -1,0 +1,18 @@
+// Golden fixture: direct file mutations `raw-snapshot-write` must
+// flag. Linted under the snapshot-zone path by tests/golden.rs.
+
+fn overwrite_in_place(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+fn create_at_final_path(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}
+
+fn append_to_frame(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).open(path)
+}
+
+fn publish_without_fsync(tmp: &std::path::Path, fin: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, fin)
+}

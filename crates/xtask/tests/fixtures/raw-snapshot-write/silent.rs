@@ -1,0 +1,27 @@
+// Golden fixture: snapshot-zone code `raw-snapshot-write` must not
+// flag — reads, frame deletion on discard, calls routed through the
+// atomic helper, and prose/test mentions of the banned calls.
+
+fn load_frame(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+fn discard_frame(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+fn save_frame(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write(path, bytes)
+}
+
+// Prose naming fs::write or fs::rename is a comment, not a call.
+fn commented() -> &'static str {
+    "never call fs::write on the final frame path"
+}
+
+#[cfg(test)]
+mod tests {
+    fn scribble_for_corruption_test(path: &std::path::Path) {
+        let _ = std::fs::write(path, b"torn");
+    }
+}

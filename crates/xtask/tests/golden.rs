@@ -58,6 +58,8 @@ const LIB_PATH: &str = "crates/demo/src/work.rs";
 const LATTICE_PATH: &str = "crates/tane/src/exact.rs";
 /// Nested-alloc only applies inside the flat-layout hot-path modules.
 const HOT_PATH: &str = "crates/relation/src/spdb.rs";
+/// Raw-snapshot-write only applies inside the snapshot zone.
+const SNAPSHOT_PATH: &str = "crates/govern/src/snapshot.rs";
 
 #[test]
 fn par_closure_capture_golden() {
@@ -72,6 +74,11 @@ fn budget_coverage_golden() {
 #[test]
 fn nested_alloc_golden() {
     check_rule("nested-alloc", HOT_PATH, &[4, 11, 15]);
+}
+
+#[test]
+fn raw_snapshot_write_golden() {
+    check_rule("raw-snapshot-write", SNAPSHOT_PATH, &[5, 9, 13, 17]);
 }
 
 #[test]

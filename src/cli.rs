@@ -30,15 +30,20 @@
 //! All logic lives here (unit-testable against in-memory writers); the
 //! binary in `src/bin/` only forwards `std::env::args`.
 
-use depminer_core::DepMiner;
+use depminer_core::{AgreeSetStrategy, DepMiner, TransversalEngine};
 use depminer_fdep::Fdep;
 use depminer_fdtheory::{candidate_keys, canonical_cover, is_bcnf, synthesize_3nf};
 use depminer_govern::observe::jsonl::JsonlSink;
 use depminer_govern::observe::profile::ProfileSink;
 use depminer_govern::observe::{Fanout, Obs, Observer};
-use depminer_govern::{Budget, BudgetExceeded, MiningOutcome};
+use depminer_govern::snapshot::read_snapshot;
+use depminer_govern::{
+    Budget, BudgetExceeded, MiningOutcome, Snapshot, SnapshotError, SnapshotPolicy,
+};
 use depminer_relation::{csv, Relation, SyntheticConfig};
-use depminer_tane::{approximate_fds, approximate_fds_governed, Tane};
+use depminer_tane::{
+    approximate_fds, approximate_fds_governed, resume_approximate_fds_governed, Tane,
+};
 use std::fmt;
 use std::io::Write;
 use std::sync::Arc;
@@ -49,7 +54,8 @@ use std::time::Duration;
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Process exit code (2 = usage, 1 = runtime, 3 = budget exhausted).
+    /// Process exit code (2 = usage, 1 = runtime, 3 = budget exhausted,
+    /// 4 = snapshot unusable).
     pub code: i32,
 }
 
@@ -79,6 +85,22 @@ fn budget_err(why: &BudgetExceeded) -> CliError {
     CliError {
         message: format!("budget exhausted: {why}"),
         code: 3,
+    }
+}
+
+/// Maps a snapshot failure onto exit codes: an I/O failure reading the
+/// file is a plain runtime error (1); everything the codec *refused* —
+/// corrupt, torn, version-skewed, or mismatched frames — is the distinct
+/// "snapshot unusable" code **4**, so scripts can tell "my snapshot is
+/// bad" from "mining failed".
+fn snapshot_err(e: SnapshotError) -> CliError {
+    let code = match &e {
+        SnapshotError::Io(_) => 1,
+        _ => 4,
+    };
+    CliError {
+        message: format!("snapshot unusable: {e}"),
+        code,
     }
 }
 
@@ -112,8 +134,14 @@ fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
     }
     let mut budget = Budget::unlimited();
     if let Some(secs) = timeout {
-        if !secs.is_finite() || secs <= 0.0 {
-            return Err(usage_err("--timeout must be a positive number of seconds"));
+        // `--timeout 0` is a legal (if extreme) budget: the deadline is
+        // already past, so the run trips at its first checkpoint and
+        // exits 3 with an empty-but-well-formed partial — it is not a
+        // usage error. Only negative or non-finite values are rejected.
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(usage_err(
+                "--timeout must be a non-negative number of seconds",
+            ));
         }
         budget = budget.with_timeout(Duration::from_secs_f64(secs));
     }
@@ -124,6 +152,40 @@ fn budget_from_args(args: &Args) -> Result<Option<Budget>, CliError> {
         budget = budget.with_max_memory_bytes(bytes);
     }
     Ok(Some(budget))
+}
+
+/// Builds a [`SnapshotPolicy`] from `--checkpoint-dir <dir>` (plus the
+/// optional cadence flags `--checkpoint-every <n boundaries>` and
+/// `--checkpoint-interval <secs>`); `None` when absent. The directory is
+/// created if missing. A trip always flushes the latest boundary
+/// snapshot regardless of cadence.
+fn snapshot_policy_from_args(args: &Args) -> Result<Option<SnapshotPolicy>, CliError> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        if args.has("checkpoint-every") || args.has("checkpoint-interval") {
+            return Err(usage_err(
+                "--checkpoint-every/--checkpoint-interval need --checkpoint-dir",
+            ));
+        }
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir)
+        .map_err(|e| run_err(format!("cannot create checkpoint dir {dir}: {e}")))?;
+    let mut policy = SnapshotPolicy::new(dir);
+    if let Some(n) = args.get_parsed::<u64>("checkpoint-every")? {
+        if n == 0 {
+            return Err(usage_err("--checkpoint-every must be at least 1"));
+        }
+        policy = policy.every_boundaries(n);
+    }
+    if let Some(secs) = args.get_parsed::<f64>("checkpoint-interval")? {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(usage_err(
+                "--checkpoint-interval must be a non-negative number of seconds",
+            ));
+        }
+        policy = policy.every_interval(Duration::from_secs_f64(secs));
+    }
+    Ok(Some(policy))
 }
 
 /// Observability sinks requested via `--profile <out.json>` / `--trace`.
@@ -194,6 +256,7 @@ depminer — functional-dependency discovery and Armstrong relations (EDBT 2000)
 
 USAGE:
     depminer fds [--algo depminer|depminer2|tane|fdep|naive|all] [--save <fds.txt>] <file.csv>
+    depminer resume --checkpoint-dir <dir> [--algo <name>] <file.csv>
     depminer armstrong [--synthetic] [--output <out.csv>] <file.csv>
     depminer keys <file.csv>
     depminer approx --epsilon <e> <file.csv>
@@ -212,6 +275,21 @@ BUDGETS:
     the tracked partition storage — the TANE cache evicts dead partitions
     before giving up). When the budget runs out the valid partial result
     and per-stage diagnostics are printed and the process exits with code 3.
+    --timeout 0 trips at the first checkpoint: useful for smoke-testing
+    budget handling, or with --checkpoint-dir for forcing a snapshot.
+
+CHECKPOINTS:
+    fds, approx and resume accept --checkpoint-dir <dir>: when a budget
+    trips, resumable stage state is written atomically to <dir>/<algo>.snap
+    (CRC-checksummed, versioned). Add --checkpoint-every <n> (snapshot every
+    n clean stage boundaries) or --checkpoint-interval <secs> for periodic
+    snapshots during healthy runs. `resume` re-loads the snapshot, verifies
+    it against the relation and the algorithm configuration recorded in the
+    frame, and continues mining from the saved frontier; a corrupt, torn,
+    truncated, version-skewed or mismatched snapshot is refused with a
+    positioned diagnostic and exit code 4. Completed runs delete their
+    snapshot. With several .snap files in the directory, pick one with
+    --algo depminer|tane|approx|fdep.
 
 OBSERVABILITY:
     fds accepts --profile <out.json> (write a span-tree profile with phase
@@ -308,6 +386,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
         "fds" => cmd_fds(&parsed, out),
+        "resume" => cmd_resume(&parsed, out),
         "armstrong" => cmd_armstrong(&parsed, out),
         "keys" => cmd_keys(&parsed, out),
         "approx" => cmd_approx(&parsed, out),
@@ -359,12 +438,16 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let algo = args.get("algo").unwrap_or("depminer");
     let observe = observe_from_args(args);
     let budget = budget_from_args(args)?;
-    // A budget, an observer or the all-miners mode each need a live token,
-    // so any of them routes through the governed path.
-    if budget.is_some() || observe.obs.enabled() || algo == "all" {
-        let token = budget
+    let policy = snapshot_policy_from_args(args)?;
+    // A budget, an observer, a checkpoint dir or the all-miners mode each
+    // need a live token, so any of them routes through the governed path.
+    if budget.is_some() || observe.obs.enabled() || policy.is_some() || algo == "all" {
+        let mut token = budget
             .unwrap_or_else(Budget::unlimited)
             .start_observed(observe.obs.clone());
+        if let Some(policy) = policy {
+            token = token.with_snapshots(policy);
+        }
         let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo {
             "depminer" => DepMiner::algorithm_2(None)
                 .mine_with_token(&r, &token)
@@ -377,7 +460,7 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "all" => mine_all(&r, &token)?,
             other => {
                 return Err(usage_err(format!(
-                "--timeout/--max-couples/--max-memory/--profile/--trace are not supported with --algo {other}"
+                "--timeout/--max-couples/--max-memory/--profile/--trace/--checkpoint-dir are not supported with --algo {other}"
             )))
             }
         };
@@ -439,6 +522,210 @@ fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
         writeln!(out, "# saved FD file to {path}").map_err(io)?;
     }
+    Ok(())
+}
+
+/// Reconstructs the Dep-Miner configuration from a frame's config bytes
+/// (see `depminer_config_bytes`), so `resume` runs the exact variant that
+/// wrote the snapshot.
+fn depminer_from_config(config: &[u8]) -> Result<DepMiner, SnapshotError> {
+    let mut d = depminer_govern::snapshot::Dec::new(config);
+    let strategy = match d.take_u8()? {
+        0 => AgreeSetStrategy::Naive,
+        1 => {
+            let c = d.take_u64()?;
+            AgreeSetStrategy::Couples {
+                chunk_size: if c > 0 { Some(c as usize) } else { None },
+            }
+        }
+        2 => AgreeSetStrategy::EquivalenceClasses,
+        t => {
+            return Err(SnapshotError::Mismatch {
+                what: format!("unknown agree-set strategy tag {t} in snapshot config"),
+            })
+        }
+    };
+    let engine = match d.take_u8()? {
+        0 => TransversalEngine::Levelwise,
+        1 => TransversalEngine::Berge,
+        2 => TransversalEngine::Dfs,
+        t => {
+            return Err(SnapshotError::Mismatch {
+                what: format!("unknown transversal engine tag {t} in snapshot config"),
+            })
+        }
+    };
+    d.finish()?;
+    Ok(DepMiner {
+        strategy,
+        engine,
+        parallelism: depminer_core::Parallelism::Auto,
+    })
+}
+
+/// Reconstructs the TANE configuration from a frame's config bytes.
+fn tane_from_config(config: &[u8]) -> Result<Tane, SnapshotError> {
+    let mut d = depminer_govern::snapshot::Dec::new(config);
+    let rhs_pruning = d.take_u8()? != 0;
+    let key_pruning = d.take_u8()? != 0;
+    d.finish()?;
+    let mut tane = Tane::new();
+    tane.rhs_pruning = rhs_pruning;
+    tane.key_pruning = key_pruning;
+    Ok(tane)
+}
+
+/// Reconstructs the approximate-TANE epsilon from a frame's config bytes.
+fn epsilon_from_config(config: &[u8]) -> Result<f64, SnapshotError> {
+    let mut d = depminer_govern::snapshot::Dec::new(config);
+    let epsilon = d.take_f64()?;
+    d.finish()?;
+    Ok(epsilon)
+}
+
+/// Finds the snapshot file to resume from: `<dir>/<algo-id>.snap` when
+/// the frame algorithm is unambiguous, otherwise requires `--algo`.
+fn locate_snapshot(args: &Args, dir: &str) -> Result<std::path::PathBuf, CliError> {
+    if let Some(algo) = args.get("algo") {
+        let id = match algo {
+            "depminer" | "depminer2" => "depminer",
+            "tane" => "tane",
+            "approx" => "tane-approx",
+            "fdep" => "fdep",
+            other => return Err(usage_err(format!("unknown --algo for resume: {other}"))),
+        };
+        return Ok(std::path::Path::new(dir).join(format!("{id}.snap")));
+    }
+    let mut snaps: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| run_err(format!("cannot read checkpoint dir {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .collect();
+    snaps.sort();
+    match snaps.len() {
+        0 => Err(run_err(format!(
+            "no .snap file in {dir}; nothing to resume"
+        ))),
+        1 => Ok(snaps.remove(0)),
+        _ => Err(usage_err(format!(
+            "{dir} holds {} snapshots; pick one with --algo",
+            snaps.len()
+        ))),
+    }
+}
+
+fn cmd_resume(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    let dir = args
+        .get("checkpoint-dir")
+        .ok_or_else(|| usage_err("resume requires --checkpoint-dir <dir>"))?
+        .to_string();
+    let r = load(args.single_file()?)?;
+    let observe = observe_from_args(args);
+    let budget = budget_from_args(args)?.unwrap_or_else(Budget::unlimited);
+    // Re-arm the same directory so the resumed run keeps checkpointing
+    // (and can itself be resumed if it trips again).
+    let policy = snapshot_policy_from_args(args)?;
+
+    let path = locate_snapshot(args, &dir)?;
+    let snap: Snapshot = read_snapshot(&path).map_err(snapshot_err)?;
+    let algo = snap.algo.clone();
+
+    if algo == depminer_tane::TANE_APPROX_ALGO {
+        let epsilon = epsilon_from_config(&snap.config).map_err(snapshot_err)?;
+        let outcome = resume_approximate_fds_governed(
+            &r,
+            epsilon,
+            &snap,
+            &budget,
+            observe.obs.clone(),
+            policy,
+        )
+        .map_err(snapshot_err)?;
+        writeln!(
+            out,
+            "# resumed {algo} from {}: {} minimal approximate FDs with g3 <= {epsilon}{}",
+            path.display(),
+            outcome.result.len(),
+            if outcome.is_complete() {
+                ""
+            } else {
+                " [PARTIAL]"
+            }
+        )
+        .map_err(io)?;
+        for afd in &outcome.result {
+            writeln!(
+                out,
+                "{:<40} g3 = {:.4}",
+                afd.fd.display_with(r.schema()),
+                afd.error
+            )
+            .map_err(io)?;
+        }
+        if let Some(why) = outcome.interrupted.clone() {
+            let err = report_interrupted(&outcome, &why, out);
+            finish_observe(&observe, out)?;
+            return Err(err);
+        }
+        finish_observe(&observe, out)?;
+        return Ok(());
+    }
+
+    let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo.as_str() {
+        depminer_core::DEPMINER_ALGO => {
+            let miner = depminer_from_config(&snap.config).map_err(snapshot_err)?;
+            miner
+                .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
+                .map_err(snapshot_err)?
+                .map(|res| res.fds)
+        }
+        depminer_tane::TANE_ALGO => {
+            let miner = tane_from_config(&snap.config).map_err(snapshot_err)?;
+            miner
+                .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
+                .map_err(snapshot_err)?
+                .map(|res| res.fds)
+        }
+        depminer_fdep::FDEP_ALGO => Fdep::new()
+            .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
+            .map_err(snapshot_err)?
+            .map(|res| res.fds),
+        other => {
+            return Err(snapshot_err(SnapshotError::Mismatch {
+                what: format!("frame names unknown algorithm {other:?}"),
+            }))
+        }
+    };
+    writeln!(
+        out,
+        "# resumed {algo} from {}: {} minimal non-trivial FDs in {} ({} tuples, {} attributes){}",
+        path.display(),
+        outcome.result.len(),
+        args.single_file()?,
+        r.len(),
+        r.arity(),
+        if outcome.is_complete() {
+            ""
+        } else {
+            " [PARTIAL]"
+        }
+    )
+    .map_err(io)?;
+    for fd in &outcome.result {
+        writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
+    }
+    if let Some(why) = outcome.interrupted.clone() {
+        let err = report_interrupted(&outcome, &why, out);
+        finish_observe(&observe, out)?;
+        return Err(err);
+    }
+    if let Some(path) = args.get("save") {
+        let text = depminer_fdtheory::fdfile::render(r.schema(), &outcome.result);
+        std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "# saved FD file to {path}").map_err(io)?;
+    }
+    finish_observe(&observe, out)?;
     Ok(())
 }
 
@@ -514,8 +801,14 @@ fn cmd_approx(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(usage_err("--epsilon must be in [0, 1]"));
     }
     let r = load(args.single_file()?)?;
-    if let Some(budget) = budget_from_args(args)? {
-        let outcome = approximate_fds_governed(&r, epsilon, &budget.start());
+    let budget = budget_from_args(args)?;
+    let policy = snapshot_policy_from_args(args)?;
+    if budget.is_some() || policy.is_some() {
+        let mut token = budget.unwrap_or_else(Budget::unlimited).start();
+        if let Some(policy) = policy {
+            token = token.with_snapshots(policy);
+        }
+        let outcome = approximate_fds_governed(&r, epsilon, &token);
         writeln!(
             out,
             "# {} minimal approximate FDs with g3 <= {epsilon}{}",
@@ -1126,11 +1419,13 @@ zip -> city
             2
         );
         assert_eq!(
-            run_cli(&["fds", "--timeout", "0", &path]).unwrap_err().code,
+            run_cli(&["fds", "--timeout", "abc", &path])
+                .unwrap_err()
+                .code,
             2
         );
         assert_eq!(
-            run_cli(&["fds", "--timeout", "abc", &path])
+            run_cli(&["fds", "--timeout", "-1", &path])
                 .unwrap_err()
                 .code,
             2
@@ -1150,6 +1445,154 @@ zip -> city
                 "--max-memory {bad} must be a usage error"
             );
         }
+    }
+
+    /// Fresh per-test checkpoint directory (cleared of stale snapshots).
+    fn tmp_ckpt_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("depminer_cli_tests").join(name);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn timeout_zero_trips_at_first_checkpoint() {
+        // `--timeout 0` is a legal budget, not a usage error: the run trips
+        // at its first checkpoint and exits 3 with an empty-but-well-formed
+        // partial result (header + diagnostics, zero FD lines).
+        let path = tmp_csv("timeout_zero.csv", ZIP_CSV);
+        for algo in ["depminer", "depminer2", "tane", "fdep"] {
+            let (out, res) = run_cli_capture(&["fds", "--algo", algo, "--timeout", "0", &path]);
+            let err = res.unwrap_err();
+            assert_eq!(err.code, 3, "algo {algo}: {}", err.message);
+            assert!(err.message.contains("budget exhausted"), "{}", err.message);
+            assert!(
+                out.contains("0 minimal non-trivial FDs"),
+                "algo {algo}:\n{out}"
+            );
+            assert!(out.contains("[PARTIAL]"), "algo {algo}:\n{out}");
+            assert!(out.contains("run interrupted"), "algo {algo}:\n{out}");
+            assert!(!out.contains("->"), "algo {algo} leaked FD lines:\n{out}");
+        }
+        let (_, res) = run_cli_capture(&["approx", "--epsilon", "0.5", "--timeout", "0", &path]);
+        assert_eq!(res.unwrap_err().code, 3);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_round_trip() {
+        let path = tmp_csv("ckpt_roundtrip.csv", ZIP_CSV);
+        let dir = tmp_ckpt_dir("roundtrip");
+        let baseline = run_cli(&["fds", "--algo", "tane", &path]).unwrap();
+        let baseline_fds: Vec<&str> = baseline.lines().filter(|l| !l.starts_with('#')).collect();
+
+        // Trip at the first checkpoint; the pending level-0 snapshot is
+        // flushed to <dir>/tane.snap on the way out.
+        let (out, res) = run_cli_capture(&[
+            "fds",
+            "--algo",
+            "tane",
+            "--timeout",
+            "0",
+            "--checkpoint-dir",
+            &dir,
+            &path,
+        ]);
+        assert_eq!(res.unwrap_err().code, 3, "{out}");
+        let snap_path = std::path::Path::new(&dir).join("tane.snap");
+        assert!(snap_path.exists(), "no snapshot written to {dir}");
+
+        // Resume without a budget: completes, matches the baseline FD set,
+        // and deletes the consumed snapshot.
+        let out = run_cli(&["resume", "--checkpoint-dir", &dir, &path]).unwrap();
+        assert!(out.contains("resumed tane"), "{out}");
+        assert!(!out.contains("PARTIAL"), "{out}");
+        let resumed_fds: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(resumed_fds, baseline_fds, "resume diverged from baseline");
+        assert!(!snap_path.exists(), "completed resume must delete snapshot");
+
+        // Nothing left to resume now.
+        assert_eq!(
+            run_cli(&["resume", "--checkpoint-dir", &dir, &path])
+                .unwrap_err()
+                .code,
+            1
+        );
+    }
+
+    #[test]
+    fn resume_flag_validation() {
+        let path = tmp_csv("resume_usage.csv", ZIP_CSV);
+        // --checkpoint-dir is mandatory for resume.
+        assert_eq!(run_cli(&["resume", &path]).unwrap_err().code, 2);
+        // --checkpoint-every / --checkpoint-interval need --checkpoint-dir.
+        assert_eq!(
+            run_cli(&["fds", "--checkpoint-every", "2", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
+        let dir = tmp_ckpt_dir("flag_validation");
+        assert_eq!(
+            run_cli(&[
+                "fds",
+                "--checkpoint-dir",
+                &dir,
+                "--checkpoint-every",
+                "0",
+                &path
+            ])
+            .unwrap_err()
+            .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&["resume", "--checkpoint-dir", &dir, "--algo", "nope", &path])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_refused_with_exit_4() {
+        let path = tmp_csv("ckpt_corrupt.csv", ZIP_CSV);
+        let dir = tmp_ckpt_dir("corrupt");
+        let (_, res) = run_cli_capture(&[
+            "fds",
+            "--algo",
+            "tane",
+            "--timeout",
+            "0",
+            "--checkpoint-dir",
+            &dir,
+            &path,
+        ]);
+        assert_eq!(res.unwrap_err().code, 3);
+        let snap_path = std::path::Path::new(&dir).join("tane.snap");
+        let pristine = std::fs::read(&snap_path).unwrap();
+
+        // A flipped byte anywhere must be caught by the CRC.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&snap_path, &flipped).unwrap();
+        let err = run_cli(&["resume", "--checkpoint-dir", &dir, &path]).unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+        assert!(err.message.contains("snapshot unusable"), "{}", err.message);
+
+        // A truncated (torn) file likewise.
+        std::fs::write(&snap_path, &pristine[..pristine.len() - 3]).unwrap();
+        let err = run_cli(&["resume", "--checkpoint-dir", &dir, &path]).unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+
+        // A snapshot taken for a different relation is a mismatch, not a
+        // silent wrong answer.
+        std::fs::write(&snap_path, &pristine).unwrap();
+        let other = tmp_csv("ckpt_other.csv", "a,b\n1,1\n2,2\n3,3\n");
+        let err = run_cli(&["resume", "--checkpoint-dir", &dir, &other]).unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
     }
 
     #[test]

@@ -13,11 +13,16 @@
 #![cfg(feature = "faults")]
 
 use depminer::depminer::{AgreeSetStrategy, DepMiner, TransversalEngine};
+use depminer::fdep::Fdep;
 use depminer::govern::faults::{FaultKind, FaultPlan};
-use depminer::govern::{Budget, Resource};
+use depminer::govern::snapshot::read_snapshot;
+use depminer::govern::{Budget, Obs, Resource, SnapshotError, SnapshotPolicy};
 use depminer::relation::{Prng, Relation, SyntheticConfig};
-use depminer::tane::{approximate_fds, approximate_fds_governed, Tane};
+use depminer::tane::{
+    approximate_fds, approximate_fds_governed, resume_approximate_fds_governed, Tane,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// A small but structurally rich workload: enough agree sets, lattice
 /// levels, and transversal work that every stage sees checkpoints.
@@ -184,6 +189,205 @@ fn approx_under_injected_faults_reports_only_valid_entries() {
                     afd.fd
                 );
             }
+        }
+    }
+}
+
+/// Fresh per-test snapshot directory.
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("depminer_chaos_tests").join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The chaos-resume property, shared by the per-miner tests below: for
+/// each injected-cancellation ordinal, run with boundary snapshots
+/// armed; when the trip leaves a frame behind, resuming it must
+/// complete to an FD set identical to the fault-free baseline. Returns
+/// how many ordinals actually exercised a resume.
+fn chaos_resume_sweep<T, FRun, FResume, FAssert>(
+    dir: &PathBuf,
+    algo_id: &str,
+    seed: u64,
+    ordinals: usize,
+    run: FRun,
+    resume: FResume,
+    assert_baseline: FAssert,
+) -> usize
+where
+    FRun: Fn(&depminer::govern::CancelToken) -> bool,
+    FResume: Fn(&depminer::govern::Snapshot) -> Result<T, SnapshotError>,
+    FAssert: Fn(u64, T),
+{
+    let path = dir.join(format!("{algo_id}.snap"));
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut resumed = 0;
+    for _ in 0..ordinals {
+        let at = rng.gen_range(ORDINAL_RANGE);
+        std::fs::remove_file(&path).ok();
+        let policy = SnapshotPolicy::new(dir).every_boundaries(1);
+        let token = Budget::unlimited()
+            .start_with_fault(FaultPlan::new(FaultKind::Cancel, at))
+            .with_snapshots(policy);
+        let complete = run(&token);
+        if complete {
+            assert!(
+                !path.exists(),
+                "ordinal {at}: completed run must discard its snapshot"
+            );
+            continue;
+        }
+        if !path.exists() {
+            // Tripped before the first boundary (or inside a stage whose
+            // state is deliberately unresumable, like FDEP's negative
+            // cover): nothing to resume is a legal outcome.
+            continue;
+        }
+        let snap = read_snapshot(&path)
+            .unwrap_or_else(|e| panic!("ordinal {at}: tripped run left an unreadable frame: {e}"));
+        let result =
+            resume(&snap).unwrap_or_else(|e| panic!("ordinal {at}: pristine frame refused: {e}"));
+        assert_baseline(at, result);
+        resumed += 1;
+    }
+    resumed
+}
+
+#[test]
+fn depminer_resume_after_injected_trip_matches_fault_free_baseline() {
+    let r = workload();
+    let miner = DepMiner::new();
+    let baseline = miner.mine(&r).fds;
+    let dir = tmp_dir("resume_depminer");
+    let resumed = chaos_resume_sweep(
+        &dir,
+        "depminer",
+        0xFA10,
+        15,
+        |token| miner.mine_with_token(&r, token).is_complete(),
+        |snap| miner.resume_governed(&r, snap, &Budget::unlimited(), Obs::none(), None),
+        |at, out| {
+            assert!(out.is_complete(), "ordinal {at}: resume tripped");
+            out.result
+                .audit_claimed_fds(&r)
+                .unwrap_or_else(|e| panic!("ordinal {at}: resumed cover failed audit: {e}"));
+            assert_eq!(out.result.fds, baseline, "ordinal {at}");
+        },
+    );
+    assert!(resumed > 0, "sweep never resumed; ordinal range too narrow");
+}
+
+#[test]
+fn tane_resume_after_injected_trip_matches_fault_free_baseline() {
+    let r = workload();
+    let tane = Tane::new();
+    let baseline = tane.run(&r).fds;
+    let dir = tmp_dir("resume_tane");
+    let resumed = chaos_resume_sweep(
+        &dir,
+        "tane",
+        0xFA11,
+        15,
+        |token| tane.run_with_token(&r, token).is_complete(),
+        |snap| tane.resume_governed(&r, snap, &Budget::unlimited(), Obs::none(), None),
+        |at, out| {
+            assert!(out.is_complete(), "ordinal {at}: resume tripped");
+            assert_eq!(out.result.fds, baseline, "ordinal {at}");
+        },
+    );
+    assert!(resumed > 0, "sweep never resumed; ordinal range too narrow");
+}
+
+#[test]
+fn approx_resume_after_injected_trip_matches_fault_free_baseline() {
+    let r = workload();
+    let epsilon = 0.05;
+    let baseline = approximate_fds(&r, epsilon);
+    let dir = tmp_dir("resume_approx");
+    let resumed = chaos_resume_sweep(
+        &dir,
+        "tane-approx",
+        0xFA12,
+        15,
+        |token| approximate_fds_governed(&r, epsilon, token).is_complete(),
+        |snap| {
+            resume_approximate_fds_governed(
+                &r,
+                epsilon,
+                snap,
+                &Budget::unlimited(),
+                Obs::none(),
+                None,
+            )
+        },
+        |at, out| {
+            assert!(out.is_complete(), "ordinal {at}: resume tripped");
+            assert_eq!(out.result, baseline, "ordinal {at}");
+        },
+    );
+    assert!(resumed > 0, "sweep never resumed; ordinal range too narrow");
+}
+
+#[test]
+fn fdep_resume_after_injected_trip_matches_fault_free_baseline() {
+    let r = workload();
+    let fdep = Fdep::new();
+    let baseline = fdep.run(&r).fds;
+    let dir = tmp_dir("resume_fdep");
+    let resumed = chaos_resume_sweep(
+        &dir,
+        "fdep",
+        0xFA13,
+        15,
+        |token| fdep.run_with_token(&r, token).is_complete(),
+        |snap| fdep.resume_governed(&r, snap, &Budget::unlimited(), Obs::none(), None),
+        |at, out| {
+            assert!(out.is_complete(), "ordinal {at}: resume tripped");
+            assert_eq!(out.result.fds, baseline, "ordinal {at}");
+        },
+    );
+    assert!(resumed > 0, "sweep never resumed; ordinal range too narrow");
+}
+
+#[test]
+fn torn_and_bit_flipped_snapshot_writes_are_always_detected() {
+    // Arm a writer-targeting fault on the single on-trip flush write (no
+    // periodic policy, so the flush is write #0), then verify the frame
+    // on disk is refused — a corrupted snapshot must never be mined into
+    // a silently wrong cover.
+    let r = workload();
+    let tane = Tane::new();
+    let dir = tmp_dir("writer_corruption");
+    let path = dir.join("tane.snap");
+    let mut rng = Prng::seed_from_u64(0xFA14);
+    // Truncation points below any frame's length plus random bit offsets
+    // (the writer wraps them to the frame length).
+    let torn: Vec<FaultKind> = [0u64, 1, 8, 13, 21]
+        .iter()
+        .map(|&at_byte| FaultKind::TornWrite { at_byte })
+        .collect();
+    let flips: Vec<FaultKind> = (0..8)
+        .map(|_| FaultKind::BitFlip {
+            offset: rng.next_u64(),
+        })
+        .collect();
+    for kind in torn.into_iter().chain(flips) {
+        std::fs::remove_file(&path).ok();
+        let policy = SnapshotPolicy::new(&dir);
+        let token = Budget::unlimited()
+            .with_max_candidates(6)
+            .start_with_fault(FaultPlan::new(kind, 0))
+            .with_snapshots(policy);
+        let outcome = tane.run_with_token(&r, &token);
+        assert!(!outcome.is_complete(), "{kind:?}: cap of 6 must trip");
+        assert!(path.exists(), "{kind:?}: flush wrote nothing");
+        match read_snapshot(&path) {
+            Err(SnapshotError::Corrupt { .. }) => {}
+            Err(other) => panic!("{kind:?}: expected Corrupt, got {other}"),
+            Ok(_) => panic!("{kind:?}: corrupted frame decoded cleanly"),
         }
     }
 }
