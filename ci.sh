@@ -34,14 +34,20 @@ echo "==> chaos pass: fault injection (DEPMINER_THREADS=4)"
 DEPMINER_THREADS=4 cargo test -q --features faults
 
 echo "==> profiled smoke mine -> target/PROFILE_smoke.json"
-# Generate a §5.2 synthetic relation, mine it with every engine under a
-# profile observer, then validate the exported span tree against the
-# same invariants the property tests assert — every pipeline stage of
-# Dep-Miner, TANE and FDEP must have opened a span.
+# Generate a §5.2 synthetic relation, then mine it with `--algo all` —
+# which iterates every `in_all` entry of the depminer-engine
+# MinerRegistry through one shared Session — under a profile observer,
+# and validate the exported span tree against the same invariants the
+# property tests assert: every pipeline stage of Dep-Miner, TANE and
+# FDEP must have opened a span.
 cargo run --release -q -p depminer -- generate \
     --attrs 8 --rows 400 --correlation 0.5 --seed 9 target/smoke.csv > /dev/null
 cargo run --release -q -p depminer -- fds --algo all \
-    --profile target/PROFILE_smoke.json target/smoke.csv > /dev/null
+    --profile target/PROFILE_smoke.json target/smoke.csv > target/fds_all.txt
+if ! grep -q "algo = all" target/fds_all.txt; then
+    echo "ci.sh: registry smoke: fds --algo all header missing 'algo = all'" >&2
+    exit 1
+fi
 cargo run -p xtask -q -- validate-profile target/PROFILE_smoke.json \
     --require depminer,agree-sets,max-sets,transversals,tane,tane-levels,fdep,negative-cover,fdep-inversion
 

@@ -10,6 +10,11 @@
 //! delta is the cost of leaving instrumentation compiled in but
 //! disabled; the acceptance target is <1% overhead.
 //!
+//! A third *engine* configuration repeats the null-sink run through the
+//! `depminer-engine` `Session` driver (trait-object dispatch, the path
+//! the CLI actually takes); its delta against the direct null-sink call
+//! is the cost of the engine layer itself, acceptance target <1%.
+//!
 //! ```text
 //! cargo run --release -p depminer-bench --bin observe_overhead -- \
 //!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_observe.json]
@@ -20,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use depminer_bench::report::{Reporter, RunStamp};
 use depminer_core::{Budget, DepMiner};
+use depminer_engine::{Miner, Session, SessionCtx};
 use depminer_observe::{NullSink, Obs};
 use depminer_relation::{Relation, SyntheticConfig};
 use depminer_tane::Tane;
@@ -32,11 +38,18 @@ struct Sample {
     algo: &'static str,
     baseline_s: f64,
     null_sink_s: f64,
+    engine_s: f64,
 }
 
 impl Sample {
     fn overhead_pct(&self) -> f64 {
         (self.null_sink_s / self.baseline_s - 1.0) * 100.0
+    }
+
+    /// Engine dispatch cost against the like-for-like direct null-sink
+    /// call.
+    fn engine_overhead_pct(&self) -> f64 {
+        (self.engine_s / self.null_sink_s - 1.0) * 100.0
     }
 }
 
@@ -68,25 +81,45 @@ fn run(r: &Relation, reps: usize) -> Vec<Sample> {
     let miner = DepMiner::new();
     let depminer_baseline = time_best(reps, || {
         let token = budget.start_observed(Obs::none());
+        // direct-call baseline the engine run is compared against;
+        // lint: allow(engine-bypass)
         let outcome = miner.mine_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
     });
     let depminer_null = time_best(reps, || {
         let token = budget.start_observed(null_obs.clone());
+        // direct-call baseline the engine run is compared against;
+        // lint: allow(engine-bypass)
         let outcome = miner.mine_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
+    });
+    let depminer_engine = time_best(reps, || {
+        assert!(
+            engine_null_sink(&miner, r, &budget, &null_obs),
+            "generous budget must not trip"
+        );
     });
 
     let tane = Tane::new();
     let tane_baseline = time_best(reps, || {
         let token = budget.start_observed(Obs::none());
+        // direct-call baseline the engine run is compared against;
+        // lint: allow(engine-bypass)
         let outcome = tane.run_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
     });
     let tane_null = time_best(reps, || {
         let token = budget.start_observed(null_obs.clone());
+        // direct-call baseline the engine run is compared against;
+        // lint: allow(engine-bypass)
         let outcome = tane.run_with_token(r, &token);
         assert!(outcome.is_complete(), "generous budget must not trip");
+    });
+    let tane_engine = time_best(reps, || {
+        assert!(
+            engine_null_sink(&tane, r, &budget, &null_obs),
+            "generous budget must not trip"
+        );
     });
 
     vec![
@@ -94,13 +127,23 @@ fn run(r: &Relation, reps: usize) -> Vec<Sample> {
             algo: "depminer",
             baseline_s: depminer_baseline,
             null_sink_s: depminer_null,
+            engine_s: depminer_engine,
         },
         Sample {
             algo: "tane",
             baseline_s: tane_baseline,
             null_sink_s: tane_null,
+            engine_s: tane_engine,
         },
     ]
+}
+
+/// The null-sink configuration again, but dispatched the way the CLI
+/// does it: through a `Session` over the `Miner` trait object. Returns
+/// completion so the caller can assert the budget never tripped.
+fn engine_null_sink(miner: &dyn Miner, r: &Relation, budget: &Budget, obs: &Obs) -> bool {
+    let ctx = SessionCtx::new(r, *budget, obs.clone(), None);
+    Session::new(ctx).run(miner).is_complete()
 }
 
 fn main() {
@@ -144,11 +187,14 @@ fn main() {
     let samples = run(&r, reps);
     for s in &samples {
         reporter.result(&format!(
-            "{:<9} no-observer {:>8.3}s  null-sink {:>8.3}s  overhead {:>+6.2}%",
+            "{:<9} no-observer {:>8.3}s  null-sink {:>8.3}s  overhead {:>+6.2}%  \
+             engine {:>8.3}s ({:>+6.2}% vs null-sink)",
             s.algo,
             s.baseline_s,
             s.null_sink_s,
-            s.overhead_pct()
+            s.overhead_pct(),
+            s.engine_s,
+            s.engine_overhead_pct()
         ));
     }
 
@@ -163,15 +209,19 @@ fn main() {
     json.push_str(&format!(
         "  \"target_overhead_pct\": {TARGET_OVERHEAD_PCT:.1},\n"
     ));
+    json.push_str("  \"target_engine_overhead_pct\": 1.0,\n");
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"algo\": \"{}\", \"no_observer_s\": {:.6}, \"null_sink_s\": {:.6}, \
-             \"overhead_pct\": {:.3}}}{}\n",
+             \"engine_s\": {:.6}, \"overhead_pct\": {:.3}, \
+             \"engine_overhead_pct\": {:.3}}}{}\n",
             s.algo,
             s.baseline_s,
             s.null_sink_s,
+            s.engine_s,
             s.overhead_pct(),
+            s.engine_overhead_pct(),
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

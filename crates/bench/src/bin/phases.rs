@@ -95,6 +95,8 @@ fn main() {
                 ("dep-miner2", DepMiner::algorithm_3()),
             ] {
                 reporter.progress(&format!("|R|={n_attrs} |r|={n_rows} {name}"));
+                // phase table needs the per-span profile of the direct
+                // call itself; lint: allow(engine-bypass)
                 let (outcome, profile) = profiled(|token| miner.mine_with_token(&r, token));
                 assert!(outcome.is_complete(), "unlimited budget must not trip");
                 println!(
@@ -109,6 +111,8 @@ fn main() {
                 reporter.profile(&profile);
             }
             reporter.progress(&format!("|R|={n_attrs} |r|={n_rows} tane"));
+            // phase table needs the per-span profile of the direct
+            // call itself; lint: allow(engine-bypass)
             let (outcome, profile) = profiled(|token| Tane::new().run_with_token(&r, token));
             assert!(outcome.is_complete(), "unlimited budget must not trip");
             let tn = &outcome.result;

@@ -13,6 +13,11 @@
 //! acceptance target is <2% overhead. The eager column bounds the cost
 //! of the densest write cadence.
 //!
+//! A fourth *engine* configuration repeats the armed run through the
+//! `depminer-engine` `Session` driver (trait-object dispatch, the path
+//! the CLI actually takes); its delta against the direct armed call is
+//! the cost of the engine layer itself, acceptance target <1%.
+//!
 //! ```text
 //! cargo run --release -p depminer-bench --bin resume_overhead -- \
 //!     [--attrs 20] [--rows 10000] [--correlation 0.5] [--reps 3] [--out BENCH_resume.json]
@@ -22,7 +27,8 @@ use std::time::{Duration, Instant};
 
 use depminer_bench::report::{Reporter, RunStamp};
 use depminer_core::DepMiner;
-use depminer_govern::{Budget, SnapshotPolicy};
+use depminer_engine::{Miner, Session, SessionCtx};
+use depminer_govern::{Budget, Obs, SnapshotPolicy};
 use depminer_relation::{Relation, SyntheticConfig};
 use depminer_tane::Tane;
 
@@ -31,6 +37,7 @@ struct Sample {
     ungoverned_s: f64,
     armed_s: f64,
     eager_s: f64,
+    engine_s: f64,
 }
 
 impl Sample {
@@ -40,6 +47,11 @@ impl Sample {
 
     fn eager_overhead_pct(&self) -> f64 {
         (self.eager_s / self.ungoverned_s - 1.0) * 100.0
+    }
+
+    /// Engine dispatch cost against the like-for-like direct armed call.
+    fn engine_overhead_pct(&self) -> f64 {
+        (self.engine_s / self.armed_s - 1.0) * 100.0
     }
 }
 
@@ -94,7 +106,7 @@ fn run(r: &Relation, reps: usize, dir: &str) -> Vec<Sample> {
     // all reps of one configuration back to back) so slow machine-load
     // drift lands on every configuration equally instead of biasing
     // whichever ran last; median-of-reps then compares like with like.
-    let mut samples: [Vec<f64>; 6] = Default::default();
+    let mut samples: [Vec<f64>; 8] = Default::default();
     for _ in 0..reps {
         samples[0].push(time_once(|| {
             let m = miner.mine(r);
@@ -102,27 +114,43 @@ fn run(r: &Relation, reps: usize, dir: &str) -> Vec<Sample> {
         }));
         samples[1].push(time_once(|| {
             let token = budget.start().with_snapshots(armed_policy(dir));
+            // direct-call baseline the engine run is compared against;
+            // lint: allow(engine-bypass)
             let outcome = miner.mine_with_token(r, &token);
             assert!(outcome.is_complete(), "generous budget must not trip");
         }));
         samples[2].push(time_once(|| {
             let token = budget.start().with_snapshots(eager_policy(dir));
+            // direct-call baseline the engine run is compared against;
+            // lint: allow(engine-bypass)
             let outcome = miner.mine_with_token(r, &token);
             assert!(outcome.is_complete(), "generous budget must not trip");
         }));
-
         samples[3].push(time_once(|| {
+            let outcome = engine_armed(&miner, r, &budget, dir);
+            assert!(outcome, "generous budget must not trip");
+        }));
+
+        samples[4].push(time_once(|| {
             tane.run(r);
         }));
-        samples[4].push(time_once(|| {
+        samples[5].push(time_once(|| {
             let token = budget.start().with_snapshots(armed_policy(dir));
+            // direct-call baseline the engine run is compared against;
+            // lint: allow(engine-bypass)
             let outcome = tane.run_with_token(r, &token);
             assert!(outcome.is_complete(), "generous budget must not trip");
         }));
-        samples[5].push(time_once(|| {
+        samples[6].push(time_once(|| {
             let token = budget.start().with_snapshots(eager_policy(dir));
+            // direct-call baseline the engine run is compared against;
+            // lint: allow(engine-bypass)
             let outcome = tane.run_with_token(r, &token);
             assert!(outcome.is_complete(), "generous budget must not trip");
+        }));
+        samples[7].push(time_once(|| {
+            let outcome = engine_armed(&tane, r, &budget, dir);
+            assert!(outcome, "generous budget must not trip");
         }));
     }
 
@@ -132,14 +160,24 @@ fn run(r: &Relation, reps: usize, dir: &str) -> Vec<Sample> {
             ungoverned_s: median(&mut samples[0]),
             armed_s: median(&mut samples[1]),
             eager_s: median(&mut samples[2]),
+            engine_s: median(&mut samples[3]),
         },
         Sample {
             algo: "tane",
-            ungoverned_s: median(&mut samples[3]),
-            armed_s: median(&mut samples[4]),
-            eager_s: median(&mut samples[5]),
+            ungoverned_s: median(&mut samples[4]),
+            armed_s: median(&mut samples[5]),
+            eager_s: median(&mut samples[6]),
+            engine_s: median(&mut samples[7]),
         },
     ]
+}
+
+/// The armed configuration again, but dispatched the way the CLI does
+/// it: through a `Session` over the `Miner` trait object. Returns
+/// completion so the caller can assert the budget never tripped.
+fn engine_armed(miner: &dyn Miner, r: &Relation, budget: &Budget, dir: &str) -> bool {
+    let ctx = SessionCtx::new(r, *budget, Obs::none(), Some(armed_policy(dir)));
+    Session::new(ctx).run(miner).is_complete()
 }
 
 fn main() {
@@ -187,13 +225,15 @@ fn main() {
     for s in &samples {
         reporter.result(&format!(
             "{:<9} ungoverned {:>8.3}s  armed {:>8.3}s ({:>+6.2}%)  \
-             eager {:>8.3}s ({:>+6.2}%)",
+             eager {:>8.3}s ({:>+6.2}%)  engine {:>8.3}s ({:>+6.2}% vs armed)",
             s.algo,
             s.ungoverned_s,
             s.armed_s,
             s.overhead_pct(),
             s.eager_s,
-            s.eager_overhead_pct()
+            s.eager_overhead_pct(),
+            s.engine_s,
+            s.engine_overhead_pct()
         ));
     }
 
@@ -206,18 +246,21 @@ fn main() {
     ));
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str("  \"target_overhead_pct\": 2.0,\n");
+    json.push_str("  \"target_engine_overhead_pct\": 1.0,\n");
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"algo\": \"{}\", \"ungoverned_s\": {:.6}, \"armed_s\": {:.6}, \
-             \"eager_s\": {:.6}, \"overhead_pct\": {:.3}, \
-             \"eager_overhead_pct\": {:.3}}}{}\n",
+             \"eager_s\": {:.6}, \"engine_s\": {:.6}, \"overhead_pct\": {:.3}, \
+             \"eager_overhead_pct\": {:.3}, \"engine_overhead_pct\": {:.3}}}{}\n",
             s.algo,
             s.ungoverned_s,
             s.armed_s,
             s.eager_s,
+            s.engine_s,
             s.overhead_pct(),
             s.eager_overhead_pct(),
+            s.engine_overhead_pct(),
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

@@ -151,6 +151,42 @@ pub fn depminer_config_bytes(strategy: AgreeSetStrategy, engine: TransversalEngi
     e.into_bytes()
 }
 
+/// Inverse of [`depminer_config_bytes`]: reconstructs the agree-set
+/// strategy and transversal engine recorded in a snapshot frame, so
+/// `resume` runs the exact variant that wrote it.
+pub fn depminer_config_from_bytes(
+    config: &[u8],
+) -> Result<(AgreeSetStrategy, TransversalEngine), SnapshotError> {
+    let mut d = Dec::new(config);
+    let strategy = match d.take_u8()? {
+        0 => AgreeSetStrategy::Naive,
+        1 => {
+            let c = d.take_u64()?;
+            AgreeSetStrategy::Couples {
+                chunk_size: if c > 0 { Some(c as usize) } else { None },
+            }
+        }
+        2 => AgreeSetStrategy::EquivalenceClasses,
+        t => {
+            return Err(SnapshotError::Mismatch {
+                what: format!("unknown agree-set strategy tag {t} in snapshot config"),
+            })
+        }
+    };
+    let engine = match d.take_u8()? {
+        0 => TransversalEngine::Levelwise,
+        1 => TransversalEngine::Berge,
+        2 => TransversalEngine::Dfs,
+        t => {
+            return Err(SnapshotError::Mismatch {
+                what: format!("unknown transversal engine tag {t} in snapshot config"),
+            })
+        }
+    };
+    d.finish()?;
+    Ok((strategy, engine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

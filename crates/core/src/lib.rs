@@ -50,7 +50,9 @@ pub use armstrong::{
     synthetic_armstrong_governed,
 };
 pub use audit::{audit_lhs, audit_lhs_for_attribute};
-pub use checkpoint::{depminer_config_bytes, DepMinerCheckpoint, DEPMINER_ALGO};
+pub use checkpoint::{
+    depminer_config_bytes, depminer_config_from_bytes, DepMinerCheckpoint, DEPMINER_ALGO,
+};
 pub use depminer_govern::{
     Budget, BudgetExceeded, CancelToken, MiningOutcome, Obs, Resource, Snapshot, SnapshotError,
     SnapshotPolicy, Stage, StageReport,
@@ -187,6 +189,18 @@ impl DepMiner {
     /// snapshot written at `--threads 4` resumes fine at `--threads 1`.
     pub fn config_bytes(&self) -> Vec<u8> {
         depminer_config_bytes(self.strategy, self.engine)
+    }
+
+    /// Inverse of [`DepMiner::config_bytes`]: reconstructs the exact
+    /// variant recorded in a snapshot frame (parallelism defaults to
+    /// [`Parallelism::Auto`]; it is not part of the frame).
+    pub fn from_config_bytes(config: &[u8]) -> Result<Self, SnapshotError> {
+        let (strategy, engine) = checkpoint::depminer_config_from_bytes(config)?;
+        Ok(DepMiner {
+            strategy,
+            engine,
+            parallelism: Parallelism::Auto,
+        })
     }
 
     /// Resume an interrupted governed run from a snapshot frame.

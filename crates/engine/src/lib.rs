@@ -1,0 +1,359 @@
+//! The unified miner-engine layer.
+//!
+//! The paper presents Dep-Miner, TANE and FDEP as variants of one
+//! levelwise discovery problem; this crate gives the codebase the same
+//! shape. Every algorithm implements one [`Miner`] trait (stable
+//! algorithm id, config bytes for snapshot frames, `run`, `resume`), a
+//! [`SessionCtx`] owns the cross-cutting bundle every governed run needs
+//! (budget, cancel token, observer, snapshot policy, the relation), and
+//! a [`MinerRegistry`] + [`Session`] driver runs
+//! load → preprocess → mine → invariant audit → report as one pipeline.
+//!
+//! Adding a fifth miner costs one `Miner` impl plus one
+//! [`MinerEntry`](registry::MinerEntry) row — no edits to the CLI, the
+//! governance layer, or the observability plumbing.
+//!
+//! ```
+//! use depminer_engine::{MinerRegistry, Session, SessionCtx};
+//! use depminer_govern::{Budget, Obs};
+//! use depminer_relation::datasets;
+//!
+//! let r = datasets::employee();
+//! let registry = MinerRegistry::standard();
+//! let entry = registry.by_cli_name("tane").unwrap();
+//! let session = Session::new(SessionCtx::new(&r, Budget::unlimited(), Obs::none(), None));
+//! let outcome = session.run(entry.instantiate().as_ref());
+//! assert!(outcome.is_complete());
+//! assert!(!outcome.result.exact_fds().unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod session;
+
+pub use registry::{MinerEntry, MinerRegistry};
+pub use session::{EngineError, Session};
+
+use depminer_core::DepMiner;
+use depminer_fdep::Fdep;
+use depminer_fdtheory::Fd;
+use depminer_govern::{
+    Budget, CancelToken, MiningOutcome, Obs, Snapshot, SnapshotError, SnapshotPolicy,
+};
+use depminer_relation::Relation;
+use depminer_tane::{
+    approx_config_bytes, approximate_fds_governed, resume_approximate_fds_governed, ApproxFd, Tane,
+};
+use std::cell::{OnceCell, RefCell};
+
+/// What a miner emitted: exact minimal FDs, or approximate FDs together
+/// with the `g3` threshold they were mined under (carried in the variant
+/// so resumed runs can render their header without a side channel).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Emitted {
+    /// Exact minimal non-trivial FDs.
+    Fds(Vec<Fd>),
+    /// Minimal approximate FDs with `g3 <= epsilon`.
+    ApproxFds {
+        /// The mined approximate FDs.
+        fds: Vec<ApproxFd>,
+        /// The `g3` threshold the run was configured with.
+        epsilon: f64,
+    },
+}
+
+impl Emitted {
+    /// Number of emitted dependencies.
+    pub fn len(&self) -> usize {
+        match self {
+            Emitted::Fds(fds) => fds.len(),
+            Emitted::ApproxFds { fds, .. } => fds.len(),
+        }
+    }
+
+    /// `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The exact FD list, when this run produced one.
+    pub fn exact_fds(&self) -> Option<&[Fd]> {
+        match self {
+            Emitted::Fds(fds) => Some(fds),
+            Emitted::ApproxFds { .. } => None,
+        }
+    }
+}
+
+/// The cross-cutting bundle a governed mining run needs: the relation,
+/// the resource [`Budget`], the [`Obs`] observer handle, and an optional
+/// [`SnapshotPolicy`].
+///
+/// The [`CancelToken`] is created lazily on first use — [`SnapshotPolicy`]
+/// must be attached at token creation (the policy's snapshot slot needs a
+/// sole owner), so the context holds the policy until the token
+/// materializes. One context means one token: `Session::run_all` shares
+/// it across every miner, exactly like the profiled `--algo all` mode.
+pub struct SessionCtx<'r> {
+    relation: &'r Relation,
+    budget: Budget,
+    obs: Obs,
+    policy: RefCell<Option<SnapshotPolicy>>,
+    token: OnceCell<CancelToken>,
+}
+
+impl<'r> SessionCtx<'r> {
+    /// Bundles a relation with its run-wide budget, observer and
+    /// (optional) snapshot policy.
+    pub fn new(
+        relation: &'r Relation,
+        budget: Budget,
+        obs: Obs,
+        policy: Option<SnapshotPolicy>,
+    ) -> Self {
+        SessionCtx {
+            relation,
+            budget,
+            obs,
+            policy: RefCell::new(policy),
+            token: OnceCell::new(),
+        }
+    }
+
+    /// The relation being mined.
+    pub fn relation(&self) -> &'r Relation {
+        self.relation
+    }
+
+    /// The run's resource budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The run's observer handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Takes the snapshot policy out of the context (resume entry points
+    /// build their own carry-accounted token and attach the policy
+    /// themselves).
+    pub fn take_policy(&self) -> Option<SnapshotPolicy> {
+        self.policy.borrow_mut().take()
+    }
+
+    /// The shared cancel token, created from the budget (and armed with
+    /// the snapshot policy, if any) on first use.
+    pub fn token(&self) -> &CancelToken {
+        self.token.get_or_init(|| {
+            let token = self.budget.start_observed(self.obs.clone());
+            match self.take_policy() {
+                Some(policy) => token.with_snapshots(policy),
+                None => token,
+            }
+        })
+    }
+}
+
+/// One FD-discovery algorithm, pluggable into the [`Session`] driver.
+///
+/// Implementations delegate to their crate's `*_with_token` entry point
+/// for `run` and to its `resume_governed` entry point for `resume`, so
+/// the engine adds dispatch — not new mining code paths.
+pub trait Miner {
+    /// Stable algorithm id, as stamped into snapshot frames
+    /// (`<algo_id>.snap`).
+    fn algo_id(&self) -> &'static str;
+
+    /// Configuration bytes stamped into snapshot frames; must round-trip
+    /// through the registry's `from_config` constructor.
+    fn config_bytes(&self) -> Vec<u8>;
+
+    /// Mines the context's relation on the context's shared token.
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted>;
+
+    /// Resumes an interrupted governed run from a snapshot frame,
+    /// refusing mismatched frames loudly.
+    fn resume(
+        &self,
+        ctx: &SessionCtx,
+        snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError>;
+}
+
+impl Miner for DepMiner {
+    fn algo_id(&self) -> &'static str {
+        depminer_core::DEPMINER_ALGO
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        DepMiner::config_bytes(self)
+    }
+
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted> {
+        self.mine_with_token(ctx.relation(), ctx.token())
+            .map(|res| Emitted::Fds(res.fds))
+    }
+
+    fn resume(
+        &self,
+        ctx: &SessionCtx,
+        snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError> {
+        self.resume_governed(
+            ctx.relation(),
+            snap,
+            ctx.budget(),
+            ctx.obs().clone(),
+            ctx.take_policy(),
+        )
+        .map(|outcome| outcome.map(|res| Emitted::Fds(res.fds)))
+    }
+}
+
+impl Miner for Tane {
+    fn algo_id(&self) -> &'static str {
+        depminer_tane::TANE_ALGO
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        Tane::config_bytes(self)
+    }
+
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted> {
+        self.run_with_token(ctx.relation(), ctx.token())
+            .map(|res| Emitted::Fds(res.fds))
+    }
+
+    fn resume(
+        &self,
+        ctx: &SessionCtx,
+        snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError> {
+        self.resume_governed(
+            ctx.relation(),
+            snap,
+            ctx.budget(),
+            ctx.obs().clone(),
+            ctx.take_policy(),
+        )
+        .map(|outcome| outcome.map(|res| Emitted::Fds(res.fds)))
+    }
+}
+
+impl Miner for Fdep {
+    fn algo_id(&self) -> &'static str {
+        depminer_fdep::FDEP_ALGO
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        Fdep::config_bytes(self)
+    }
+
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted> {
+        self.run_with_token(ctx.relation(), ctx.token())
+            .map(|res| Emitted::Fds(res.fds))
+    }
+
+    fn resume(
+        &self,
+        ctx: &SessionCtx,
+        snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError> {
+        self.resume_governed(
+            ctx.relation(),
+            snap,
+            ctx.budget(),
+            ctx.obs().clone(),
+            ctx.take_policy(),
+        )
+        .map(|outcome| outcome.map(|res| Emitted::Fds(res.fds)))
+    }
+}
+
+/// Approximate-TANE as a [`Miner`]: mines minimal approximate FDs with
+/// `g3 <= epsilon`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxMiner {
+    /// The `g3` error threshold in `[0, 1]`.
+    pub epsilon: f64,
+}
+
+impl Miner for ApproxMiner {
+    fn algo_id(&self) -> &'static str {
+        depminer_tane::TANE_APPROX_ALGO
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        approx_config_bytes(self.epsilon)
+    }
+
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted> {
+        approximate_fds_governed(ctx.relation(), self.epsilon, ctx.token()).map(|fds| {
+            Emitted::ApproxFds {
+                fds,
+                epsilon: self.epsilon,
+            }
+        })
+    }
+
+    fn resume(
+        &self,
+        ctx: &SessionCtx,
+        snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError> {
+        resume_approximate_fds_governed(
+            ctx.relation(),
+            self.epsilon,
+            snap,
+            ctx.budget(),
+            ctx.obs().clone(),
+            ctx.take_policy(),
+        )
+        .map(|outcome| {
+            outcome.map(|fds| Emitted::ApproxFds {
+                fds,
+                epsilon: self.epsilon,
+            })
+        })
+    }
+}
+
+/// The brute-force oracle as a [`Miner`]: ungoverned (no budget
+/// checkpoints, not resumable), kept registered so `fds --algo naive`
+/// rides the same driver as everything else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveMiner;
+
+impl Miner for NaiveMiner {
+    fn algo_id(&self) -> &'static str {
+        "naive"
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn run(&self, ctx: &SessionCtx) -> MiningOutcome<Emitted> {
+        // Ungoverned: the oracle has no checkpoints, so it reports no
+        // stages and can never be partial.
+        let stages = Vec::new();
+        MiningOutcome::complete(
+            Emitted::Fds(depminer_fdtheory::mine_minimal_fds(ctx.relation())),
+            stages,
+        )
+    }
+
+    // always errors, so there is no outcome to account for;
+    // lint: allow(partial-contract)
+    fn resume(
+        &self,
+        _ctx: &SessionCtx,
+        _snap: &Snapshot,
+    ) -> Result<MiningOutcome<Emitted>, SnapshotError> {
+        Err(SnapshotError::Mismatch {
+            what: "the naive oracle writes no snapshots and cannot resume".to_string(),
+        })
+    }
+}

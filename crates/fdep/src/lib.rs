@@ -153,6 +153,17 @@ impl Fdep {
         Vec::new()
     }
 
+    /// Inverse of [`Fdep::config_bytes`]: FDEP has no tunables, so only
+    /// an empty config is a valid frame.
+    pub fn from_config_bytes(config: &[u8]) -> Result<Self, SnapshotError> {
+        if !config.is_empty() {
+            return Err(SnapshotError::Mismatch {
+                what: format!("fdep frames carry no config, found {} bytes", config.len()),
+            });
+        }
+        Ok(Fdep)
+    }
+
     /// Resume an interrupted governed run from a snapshot frame.
     ///
     /// Refuses loudly (no mining happens) when the frame belongs to a

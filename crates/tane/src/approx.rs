@@ -289,6 +289,15 @@ pub fn approx_config_bytes(epsilon: f64) -> Vec<u8> {
     e.into_bytes()
 }
 
+/// Inverse of [`approx_config_bytes`]: reconstructs the `g3` threshold
+/// recorded in a snapshot frame.
+pub fn epsilon_from_config_bytes(config: &[u8]) -> Result<f64, SnapshotError> {
+    let mut d = Dec::new(config);
+    let epsilon = d.take_f64()?;
+    d.finish()?;
+    Ok(epsilon)
+}
+
 /// Resume an interrupted [`approximate_fds_governed`] run from a
 /// snapshot frame.
 ///

@@ -287,6 +287,21 @@ impl Tane {
         vec![self.rhs_pruning as u8, self.key_pruning as u8]
     }
 
+    /// Inverse of [`Tane::config_bytes`]: reconstructs the pruning
+    /// configuration recorded in a snapshot frame (parallelism defaults
+    /// to [`Parallelism::Auto`]; it is not part of the frame).
+    pub fn from_config_bytes(config: &[u8]) -> Result<Self, SnapshotError> {
+        let mut d = Dec::new(config);
+        let rhs_pruning = d.take_u8()? != 0;
+        let key_pruning = d.take_u8()? != 0;
+        d.finish()?;
+        Ok(Tane {
+            rhs_pruning,
+            key_pruning,
+            parallelism: Parallelism::Auto,
+        })
+    }
+
     /// Resume an interrupted governed run from a snapshot frame.
     ///
     /// Refuses loudly (no mining happens) when the frame belongs to a

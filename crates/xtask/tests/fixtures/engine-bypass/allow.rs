@@ -1,0 +1,13 @@
+// Golden fixture: the escape hatch — a bench measuring the engine's
+// dispatch overhead needs the direct call as its baseline, and names
+// the rule next to it.
+
+fn direct_baseline(r: &Relation, budget: &Budget) {
+    // direct-call baseline the engine run is compared against;
+    // lint: allow(engine-bypass)
+    let _ = DepMiner::new().mine_governed(r, budget);
+}
+
+fn inline_marker(r: &Relation, token: &CancelToken) {
+    let _ = Tane::new().run_with_token(r, token); // lint: allow(engine-bypass) — baseline
+}

@@ -1,0 +1,18 @@
+// Golden fixture: direct governed entry-point calls `engine-bypass`
+// must flag. Linted under the CLI path by tests/golden.rs.
+
+fn mine_directly(r: &Relation, budget: &Budget) {
+    let _ = DepMiner::new().mine_governed(r, budget);
+}
+
+fn token_spelling(r: &Relation, token: &CancelToken) {
+    let _ = Tane::new().run_with_token(r, token);
+}
+
+fn resume_directly(r: &Relation, snap: &Snapshot, budget: &Budget) {
+    let _ = Fdep::new().resume_governed(r, snap, budget, Obs::none(), None);
+}
+
+fn approx_directly(r: &Relation, token: &CancelToken) {
+    let _ = approximate_fds_governed(r, 0.05, token);
+}

@@ -1,0 +1,27 @@
+// Golden fixture: engine-facing code `engine-bypass` must not flag —
+// Session/registry dispatch, the ungoverned `mine`/`run` spellings the
+// report command uses, prose mentions, and test-module baselines.
+
+fn blessed_dispatch(r: &Relation, registry: &MinerRegistry) {
+    let session = Session::new(SessionCtx::new(r, Budget::unlimited(), Obs::none(), None));
+    for entry in registry.all_entries() {
+        let _ = session.run(entry.instantiate().as_ref());
+    }
+}
+
+fn ungoverned_report(r: &Relation) {
+    let result = DepMiner::new().mine(r);
+    let _ = result.fds.len();
+}
+
+// Prose naming mine_governed is a comment, not a call.
+fn commented() -> &'static str {
+    "route mine_governed through the Session driver"
+}
+
+#[cfg(test)]
+mod tests {
+    fn oracle(r: &Relation, budget: &Budget) {
+        let _ = Tane::new().run_governed(r, budget);
+    }
+}

@@ -27,11 +27,17 @@
 //! `--algo all` which runs Dep-Miner, TANE and FDEP back to back on one
 //! token so a single profile covers every stage of all three miners.
 //!
+//! All mining commands dispatch through the `depminer-engine` layer: the
+//! [`MinerRegistry`] maps `--algo` names and snapshot frame ids onto
+//! [`depminer_engine::Miner`] implementations, and the [`Session`] driver
+//! owns the budget/observer/checkpoint bundle — the CLI holds no
+//! per-algorithm entry-point arms.
+//!
 //! All logic lives here (unit-testable against in-memory writers); the
 //! binary in `src/bin/` only forwards `std::env::args`.
 
-use depminer_core::{AgreeSetStrategy, DepMiner, TransversalEngine};
-use depminer_fdep::Fdep;
+use depminer_core::DepMiner;
+use depminer_engine::{ApproxMiner, Emitted, MinerRegistry, Session, SessionCtx};
 use depminer_fdtheory::{candidate_keys, canonical_cover, is_bcnf, synthesize_3nf};
 use depminer_govern::observe::jsonl::JsonlSink;
 use depminer_govern::observe::profile::ProfileSink;
@@ -41,9 +47,6 @@ use depminer_govern::{
     Budget, BudgetExceeded, MiningOutcome, Snapshot, SnapshotError, SnapshotPolicy,
 };
 use depminer_relation::{csv, Relation, SyntheticConfig};
-use depminer_tane::{
-    approximate_fds, approximate_fds_governed, resume_approximate_fds_governed, Tane,
-};
 use std::fmt;
 use std::io::Write;
 use std::sync::Arc;
@@ -251,6 +254,65 @@ fn report_interrupted<T>(
     budget_err(why)
 }
 
+/// The ` [PARTIAL]` header suffix for interrupted runs.
+fn partial_suffix<T>(outcome: &MiningOutcome<T>) -> &'static str {
+    if outcome.is_complete() {
+        ""
+    } else {
+        " [PARTIAL]"
+    }
+}
+
+/// The shared tail of every mining command, emitted once for the whole
+/// `Session` driver layer instead of per command: prints the header and
+/// the emitted dependency lines, surfaces per-stage diagnostics plus the
+/// exit-code-3 error when the run was interrupted, saves a *complete*
+/// exact cover when `save` is given, and finishes the observability
+/// sinks (even an interrupted run exports its partial profile — the span
+/// tree up to the trip is exactly what a user diagnosing a budget
+/// blowout wants to see).
+fn emit_outcome(
+    outcome: &MiningOutcome<Emitted>,
+    header: &str,
+    r: &Relation,
+    save: Option<&str>,
+    observe: &ObserveSetup,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
+    writeln!(out, "{header}").map_err(io)?;
+    match &outcome.result {
+        Emitted::Fds(fds) => {
+            for fd in fds {
+                writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
+            }
+        }
+        Emitted::ApproxFds { fds, .. } => {
+            for afd in fds {
+                writeln!(
+                    out,
+                    "{:<40} g3 = {:.4}",
+                    afd.fd.display_with(r.schema()),
+                    afd.error
+                )
+                .map_err(io)?;
+            }
+        }
+    }
+    if let Some(why) = outcome.interrupted.clone() {
+        let err = report_interrupted(outcome, &why, out);
+        finish_observe(observe, out)?;
+        return Err(err);
+    }
+    if let (Some(path), Some(fds)) = (save, outcome.result.exact_fds()) {
+        let text = depminer_fdtheory::fdfile::render(r.schema(), fds);
+        std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "# saved FD file to {path}").map_err(io)?;
+    }
+    finish_observe(observe, out)?;
+    Ok(())
+}
+
 const USAGE: &str = "\
 depminer — functional-dependency discovery and Armstrong relations (EDBT 2000)
 
@@ -401,200 +463,114 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// Runs `--algo all`: Dep-Miner, TANE and FDEP back to back on one token,
-/// so their spans land in one profile. On a fully complete run the three
-/// miners must agree (they compute the same minimal cover); the merged
-/// outcome carries every stage report.
-fn mine_all(
-    r: &Relation,
-    token: &depminer_govern::CancelToken,
-) -> Result<MiningOutcome<Vec<depminer_fdtheory::Fd>>, CliError> {
-    let dm = DepMiner::new().mine_with_token(r, token);
-    let tane = Tane::new().run_with_token(r, token);
-    let fdep = Fdep::new().run_with_token(r, token);
-    let complete = dm.is_complete() && tane.is_complete() && fdep.is_complete();
-    if complete && (dm.result.fds != tane.result.fds || tane.result.fds != fdep.result.fds) {
-        return Err(run_err(
-            "internal error: Dep-Miner, TANE and FDEP disagree on the minimal cover",
-        ));
-    }
-    let why = dm
-        .interrupted
-        .clone()
-        .or_else(|| tane.interrupted.clone())
-        .or_else(|| fdep.interrupted.clone());
-    let mut stages = dm.stages;
-    stages.extend(tane.stages);
-    stages.extend(fdep.stages);
-    Ok(match why {
-        Some(why) => MiningOutcome::partial(dm.result.fds, why, stages),
-        None => MiningOutcome::complete(dm.result.fds, stages),
-    })
-}
-
 fn cmd_fds(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
-    let r = load(args.single_file()?)?;
+    let file = args.single_file()?;
+    let r = load(file)?;
     let algo = args.get("algo").unwrap_or("depminer");
     let observe = observe_from_args(args);
     let budget = budget_from_args(args)?;
     let policy = snapshot_policy_from_args(args)?;
+    let registry = MinerRegistry::standard();
     // A budget, an observer, a checkpoint dir or the all-miners mode each
     // need a live token, so any of them routes through the governed path.
-    if budget.is_some() || observe.obs.enabled() || policy.is_some() || algo == "all" {
-        let mut token = budget
-            .unwrap_or_else(Budget::unlimited)
-            .start_observed(observe.obs.clone());
-        if let Some(policy) = policy {
-            token = token.with_snapshots(policy);
-        }
-        let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo {
-            "depminer" => DepMiner::algorithm_2(None)
-                .mine_with_token(&r, &token)
-                .map(|res| res.fds),
-            "depminer2" => DepMiner::algorithm_3()
-                .mine_with_token(&r, &token)
-                .map(|res| res.fds),
-            "tane" => Tane::new().run_with_token(&r, &token).map(|res| res.fds),
-            "fdep" => Fdep::new().run_with_token(&r, &token).map(|res| res.fds),
-            "all" => mine_all(&r, &token)?,
-            other => {
+    let governed = budget.is_some() || observe.obs.enabled() || policy.is_some() || algo == "all";
+    let session = Session::new(SessionCtx::new(
+        &r,
+        budget.unwrap_or_else(Budget::unlimited),
+        observe.obs.clone(),
+        policy,
+    ));
+    let outcome = if algo == "all" {
+        session
+            .run_all(&registry)
+            .map_err(|e| run_err(e.to_string()))?
+    } else {
+        match registry.by_cli_name(algo).filter(|e| e.fds_algo) {
+            Some(entry) if !governed || entry.governed => {
+                session.run(entry.instantiate().as_ref())
+            }
+            _ if governed => {
                 return Err(usage_err(format!(
-                "--timeout/--max-couples/--max-memory/--profile/--trace/--checkpoint-dir are not supported with --algo {other}"
+                "--timeout/--max-couples/--max-memory/--profile/--trace/--checkpoint-dir are not supported with --algo {algo}"
             )))
             }
-        };
-        writeln!(
-            out,
-            "# {} minimal non-trivial FDs in {} ({} tuples, {} attributes), algo = {algo}{}",
-            outcome.result.len(),
-            args.single_file()?,
-            r.len(),
-            r.arity(),
-            if outcome.is_complete() {
-                ""
-            } else {
-                " [PARTIAL]"
-            }
-        )
-        .map_err(io)?;
-        for fd in &outcome.result {
-            writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
+            _ => return Err(usage_err(format!("unknown --algo: {algo}"))),
         }
-        if let Some(why) = outcome.interrupted.clone() {
-            let err = report_interrupted(&outcome, &why, out);
-            // Even an interrupted run exports its (partial) profile: the
-            // span tree up to the trip is exactly what a user diagnosing a
-            // budget blowout wants to see.
-            finish_observe(&observe, out)?;
-            return Err(err);
-        }
-        if let Some(path) = args.get("save") {
-            let text = depminer_fdtheory::fdfile::render(r.schema(), &outcome.result);
-            std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
-            writeln!(out, "# saved FD file to {path}").map_err(io)?;
-        }
-        finish_observe(&observe, out)?;
-        return Ok(());
-    }
-    let fds = match algo {
-        "depminer" => DepMiner::algorithm_2(None).mine(&r).fds,
-        "depminer2" => DepMiner::algorithm_3().mine(&r).fds,
-        "tane" => Tane::new().run(&r).fds,
-        "fdep" => Fdep::new().run(&r).fds,
-        "naive" => depminer_fdtheory::mine_minimal_fds(&r),
-        other => return Err(usage_err(format!("unknown --algo: {other}"))),
     };
-    writeln!(
-        out,
-        "# {} minimal non-trivial FDs in {} ({} tuples, {} attributes), algo = {algo}",
-        fds.len(),
-        args.single_file()?,
+    let header = format!(
+        "# {} minimal non-trivial FDs in {file} ({} tuples, {} attributes), algo = {algo}{}",
+        outcome.result.len(),
         r.len(),
-        r.arity()
-    )
-    .map_err(io)?;
-    for fd in &fds {
-        writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
-    }
-    if let Some(path) = args.get("save") {
-        let text = depminer_fdtheory::fdfile::render(r.schema(), &fds);
-        std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
-        writeln!(out, "# saved FD file to {path}").map_err(io)?;
-    }
-    Ok(())
+        r.arity(),
+        partial_suffix(&outcome)
+    );
+    emit_outcome(&outcome, &header, &r, args.get("save"), &observe, out)
 }
 
-/// Reconstructs the Dep-Miner configuration from a frame's config bytes
-/// (see `depminer_config_bytes`), so `resume` runs the exact variant that
-/// wrote the snapshot.
-fn depminer_from_config(config: &[u8]) -> Result<DepMiner, SnapshotError> {
-    let mut d = depminer_govern::snapshot::Dec::new(config);
-    let strategy = match d.take_u8()? {
-        0 => AgreeSetStrategy::Naive,
-        1 => {
-            let c = d.take_u64()?;
-            AgreeSetStrategy::Couples {
-                chunk_size: if c > 0 { Some(c as usize) } else { None },
-            }
-        }
-        2 => AgreeSetStrategy::EquivalenceClasses,
-        t => {
-            return Err(SnapshotError::Mismatch {
-                what: format!("unknown agree-set strategy tag {t} in snapshot config"),
-            })
-        }
+/// The snapshot algorithm ids actually stored in a checkpoint
+/// directory's frames (unreadable frames are named by file), so resume
+/// errors can say what is really there.
+fn frame_algos(dir: &str) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
     };
-    let engine = match d.take_u8()? {
-        0 => TransversalEngine::Levelwise,
-        1 => TransversalEngine::Berge,
-        2 => TransversalEngine::Dfs,
-        t => {
-            return Err(SnapshotError::Mismatch {
-                what: format!("unknown transversal engine tag {t} in snapshot config"),
-            })
-        }
-    };
-    d.finish()?;
-    Ok(DepMiner {
-        strategy,
-        engine,
-        parallelism: depminer_core::Parallelism::Auto,
-    })
-}
-
-/// Reconstructs the TANE configuration from a frame's config bytes.
-fn tane_from_config(config: &[u8]) -> Result<Tane, SnapshotError> {
-    let mut d = depminer_govern::snapshot::Dec::new(config);
-    let rhs_pruning = d.take_u8()? != 0;
-    let key_pruning = d.take_u8()? != 0;
-    d.finish()?;
-    let mut tane = Tane::new();
-    tane.rhs_pruning = rhs_pruning;
-    tane.key_pruning = key_pruning;
-    Ok(tane)
-}
-
-/// Reconstructs the approximate-TANE epsilon from a frame's config bytes.
-fn epsilon_from_config(config: &[u8]) -> Result<f64, SnapshotError> {
-    let mut d = depminer_govern::snapshot::Dec::new(config);
-    let epsilon = d.take_f64()?;
-    d.finish()?;
-    Ok(epsilon)
+    let mut algos: Vec<String> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+        .map(|p| match read_snapshot(&p) {
+            Ok(snap) => snap.algo,
+            Err(_) => format!(
+                "{} (unreadable)",
+                p.file_name().unwrap_or_default().to_string_lossy()
+            ),
+        })
+        .collect();
+    algos.sort();
+    algos
 }
 
 /// Finds the snapshot file to resume from: `<dir>/<algo-id>.snap` when
-/// the frame algorithm is unambiguous, otherwise requires `--algo`.
-fn locate_snapshot(args: &Args, dir: &str) -> Result<std::path::PathBuf, CliError> {
+/// the frame algorithm is unambiguous, otherwise requires `--algo`. The
+/// `--algo` spellings and their frame ids come from the registry, and
+/// failures report the algorithm ids actually stored in the directory.
+fn locate_snapshot(
+    args: &Args,
+    dir: &str,
+    registry: &MinerRegistry,
+) -> Result<std::path::PathBuf, CliError> {
     if let Some(algo) = args.get("algo") {
-        let id = match algo {
-            "depminer" | "depminer2" => "depminer",
-            "tane" => "tane",
-            "approx" => "tane-approx",
-            "fdep" => "fdep",
-            other => return Err(usage_err(format!("unknown --algo for resume: {other}"))),
+        let Some(entry) = registry.by_cli_name(algo).filter(|e| e.resumable) else {
+            let names: Vec<&str> = registry
+                .entries()
+                .iter()
+                .filter(|e| e.resumable)
+                .map(|e| e.cli_name)
+                .collect();
+            let stored = frame_algos(dir);
+            let hint = if stored.is_empty() {
+                String::new()
+            } else {
+                format!("; {dir} holds: {}", stored.join(", "))
+            };
+            return Err(usage_err(format!(
+                "unknown --algo for resume: {algo} (expected {}{hint})",
+                names.join("|")
+            )));
         };
-        return Ok(std::path::Path::new(dir).join(format!("{id}.snap")));
+        let path = std::path::Path::new(dir).join(format!("{}.snap", entry.algo_id));
+        if !path.exists() {
+            let stored = frame_algos(dir);
+            let hint = if stored.is_empty() {
+                "the directory holds no frames".to_string()
+            } else {
+                format!("the directory holds frames for: {}", stored.join(", "))
+            };
+            return Err(run_err(format!(
+                "no {}.snap in {dir}; {hint}",
+                entry.algo_id
+            )));
+        }
+        return Ok(path);
     }
     let mut snaps: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| run_err(format!("cannot read checkpoint dir {dir}: {e}")))?
@@ -608,14 +584,14 @@ fn locate_snapshot(args: &Args, dir: &str) -> Result<std::path::PathBuf, CliErro
         ))),
         1 => Ok(snaps.remove(0)),
         _ => Err(usage_err(format!(
-            "{dir} holds {} snapshots; pick one with --algo",
-            snaps.len()
+            "{dir} holds {} snapshots ({}); pick one with --algo",
+            snaps.len(),
+            frame_algos(dir).join(", ")
         ))),
     }
 }
 
 fn cmd_resume(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
     let dir = args
         .get("checkpoint-dir")
         .ok_or_else(|| usage_err("resume requires --checkpoint-dir <dir>"))?
@@ -626,107 +602,36 @@ fn cmd_resume(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // Re-arm the same directory so the resumed run keeps checkpointing
     // (and can itself be resumed if it trips again).
     let policy = snapshot_policy_from_args(args)?;
+    let registry = MinerRegistry::standard();
 
-    let path = locate_snapshot(args, &dir)?;
+    let path = locate_snapshot(args, &dir, &registry)?;
     let snap: Snapshot = read_snapshot(&path).map_err(snapshot_err)?;
     let algo = snap.algo.clone();
-
-    if algo == depminer_tane::TANE_APPROX_ALGO {
-        let epsilon = epsilon_from_config(&snap.config).map_err(snapshot_err)?;
-        let outcome = resume_approximate_fds_governed(
-            &r,
-            epsilon,
-            &snap,
-            &budget,
-            observe.obs.clone(),
-            policy,
-        )
+    // The registry reconstructs the exact miner configuration the frame
+    // was written by (or refuses, naming the ids this build knows).
+    let miner = registry.from_frame(&snap).map_err(snapshot_err)?;
+    let session = Session::new(SessionCtx::new(&r, budget, observe.obs.clone(), policy));
+    let outcome = session
+        .resume(miner.as_ref(), &snap)
         .map_err(snapshot_err)?;
-        writeln!(
-            out,
+    let header = match &outcome.result {
+        Emitted::ApproxFds { epsilon, .. } => format!(
             "# resumed {algo} from {}: {} minimal approximate FDs with g3 <= {epsilon}{}",
             path.display(),
             outcome.result.len(),
-            if outcome.is_complete() {
-                ""
-            } else {
-                " [PARTIAL]"
-            }
-        )
-        .map_err(io)?;
-        for afd in &outcome.result {
-            writeln!(
-                out,
-                "{:<40} g3 = {:.4}",
-                afd.fd.display_with(r.schema()),
-                afd.error
-            )
-            .map_err(io)?;
-        }
-        if let Some(why) = outcome.interrupted.clone() {
-            let err = report_interrupted(&outcome, &why, out);
-            finish_observe(&observe, out)?;
-            return Err(err);
-        }
-        finish_observe(&observe, out)?;
-        return Ok(());
-    }
-
-    let outcome: MiningOutcome<Vec<depminer_fdtheory::Fd>> = match algo.as_str() {
-        depminer_core::DEPMINER_ALGO => {
-            let miner = depminer_from_config(&snap.config).map_err(snapshot_err)?;
-            miner
-                .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
-                .map_err(snapshot_err)?
-                .map(|res| res.fds)
-        }
-        depminer_tane::TANE_ALGO => {
-            let miner = tane_from_config(&snap.config).map_err(snapshot_err)?;
-            miner
-                .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
-                .map_err(snapshot_err)?
-                .map(|res| res.fds)
-        }
-        depminer_fdep::FDEP_ALGO => Fdep::new()
-            .resume_governed(&r, &snap, &budget, observe.obs.clone(), policy)
-            .map_err(snapshot_err)?
-            .map(|res| res.fds),
-        other => {
-            return Err(snapshot_err(SnapshotError::Mismatch {
-                what: format!("frame names unknown algorithm {other:?}"),
-            }))
-        }
+            partial_suffix(&outcome)
+        ),
+        Emitted::Fds(_) => format!(
+            "# resumed {algo} from {}: {} minimal non-trivial FDs in {} ({} tuples, {} attributes){}",
+            path.display(),
+            outcome.result.len(),
+            args.single_file()?,
+            r.len(),
+            r.arity(),
+            partial_suffix(&outcome)
+        ),
     };
-    writeln!(
-        out,
-        "# resumed {algo} from {}: {} minimal non-trivial FDs in {} ({} tuples, {} attributes){}",
-        path.display(),
-        outcome.result.len(),
-        args.single_file()?,
-        r.len(),
-        r.arity(),
-        if outcome.is_complete() {
-            ""
-        } else {
-            " [PARTIAL]"
-        }
-    )
-    .map_err(io)?;
-    for fd in &outcome.result {
-        writeln!(out, "{}", fd.display_with(r.schema())).map_err(io)?;
-    }
-    if let Some(why) = outcome.interrupted.clone() {
-        let err = report_interrupted(&outcome, &why, out);
-        finish_observe(&observe, out)?;
-        return Err(err);
-    }
-    if let Some(path) = args.get("save") {
-        let text = depminer_fdtheory::fdfile::render(r.schema(), &outcome.result);
-        std::fs::write(path, text).map_err(|e| run_err(format!("cannot write {path}: {e}")))?;
-        writeln!(out, "# saved FD file to {path}").map_err(io)?;
-    }
-    finish_observe(&observe, out)?;
-    Ok(())
+    emit_outcome(&outcome, &header, &r, args.get("save"), &observe, out)
 }
 
 fn cmd_armstrong(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -738,6 +643,9 @@ fn cmd_armstrong(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Some(budget) => budget.start(),
         None => depminer_govern::CancelToken::unlimited(),
     };
+    // armstrong needs the full MiningResult (max sets feed the
+    // generator), which the engine's Emitted deliberately elides.
+    // lint: allow(engine-bypass)
     let outcome = DepMiner::new().mine_with_token(&r, &token);
     if let Some(why) = outcome.interrupted.clone() {
         writeln!(
@@ -793,7 +701,6 @@ fn cmd_keys(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_approx(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let io = |e: std::io::Error| run_err(format!("write failed: {e}"));
     let epsilon: f64 = args
         .get_parsed("epsilon")?
         .ok_or_else(|| usage_err("approx requires --epsilon <e>"))?;
@@ -803,54 +710,25 @@ fn cmd_approx(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let r = load(args.single_file()?)?;
     let budget = budget_from_args(args)?;
     let policy = snapshot_policy_from_args(args)?;
-    if budget.is_some() || policy.is_some() {
-        let mut token = budget.unwrap_or_else(Budget::unlimited).start();
-        if let Some(policy) = policy {
-            token = token.with_snapshots(policy);
-        }
-        let outcome = approximate_fds_governed(&r, epsilon, &token);
-        writeln!(
-            out,
-            "# {} minimal approximate FDs with g3 <= {epsilon}{}",
-            outcome.result.len(),
-            if outcome.is_complete() {
-                ""
-            } else {
-                " [PARTIAL]"
-            }
-        )
-        .map_err(io)?;
-        for afd in &outcome.result {
-            writeln!(
-                out,
-                "{:<40} g3 = {:.4}",
-                afd.fd.display_with(r.schema()),
-                afd.error
-            )
-            .map_err(io)?;
-        }
-        if let Some(why) = outcome.interrupted.clone() {
-            return Err(report_interrupted(&outcome, &why, out));
-        }
-        return Ok(());
-    }
-    let afds = approximate_fds(&r, epsilon);
-    writeln!(
-        out,
-        "# {} minimal approximate FDs with g3 <= {epsilon}",
-        afds.len()
-    )
-    .map_err(io)?;
-    for afd in afds {
-        writeln!(
-            out,
-            "{:<40} g3 = {:.4}",
-            afd.fd.display_with(r.schema()),
-            afd.error
-        )
-        .map_err(io)?;
-    }
-    Ok(())
+    // approx has no observability flags; the setup is inert and only
+    // satisfies the shared reporting tail.
+    let observe = ObserveSetup {
+        obs: Obs::none(),
+        profile: None,
+    };
+    let session = Session::new(SessionCtx::new(
+        &r,
+        budget.unwrap_or_else(Budget::unlimited),
+        Obs::none(),
+        policy,
+    ));
+    let outcome = session.run(&ApproxMiner { epsilon });
+    let header = format!(
+        "# {} minimal approximate FDs with g3 <= {epsilon}{}",
+        outcome.result.len(),
+        partial_suffix(&outcome)
+    );
+    emit_outcome(&outcome, &header, &r, None, &observe, out)
 }
 
 fn cmd_normalize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {

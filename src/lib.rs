@@ -16,6 +16,7 @@
 //! | [`depminer`] | `depminer-core` | agree sets (Algorithms 2/3), maximal sets, lhs, FD output, Armstrong relations, keys |
 //! | [`tane`] | `depminer-tane` | exact TANE, approximate FDs (g₁/g₂/g₃), Armstrong extension |
 //! | [`fdep`] | `depminer-fdep` | the FDEP baseline: negative cover + FD-tree |
+//! | [`engine`] | `depminer-engine` | the `Miner` trait, `MinerRegistry`, and `Session` driver every CLI mining command dispatches through |
 //! | [`ind`] | `depminer-ind` | unary inclusion dependencies (foreign-key hunting) |
 //!
 //! # Quick start
@@ -44,6 +45,7 @@
 pub mod cli;
 
 pub use depminer_core as depminer;
+pub use depminer_engine as engine;
 pub use depminer_fdep as fdep;
 pub use depminer_fdtheory as fdtheory;
 pub use depminer_govern as govern;
